@@ -1,0 +1,91 @@
+// Command campaign runs declarative fault-injection campaigns from JSON
+// spec files — the "automated fashion" of §1, where NFTAPE scripts drive
+// the injector, reset the network to a known good state between runs, and
+// collect the results.
+//
+//	campaign spec.json [more.json ...]
+//	campaign -json spec.json      # machine-readable results
+//	campaign -example             # print a ready-to-run example spec
+//
+// A spec names a workload, a list of injector activations (raw COMPARE/
+// CORRUPT/CRC command lines plus arming and duty metering), and the
+// measurement window; the result classifies the outcome as active,
+// passive, or no-effect per §4.4.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"netfi/internal/campaign"
+)
+
+const exampleSpec = `{
+  "name": "gap-to-go",
+  "seed": 7,
+  "duration_ms": 1700,
+  "tx_queue_limit": 4,
+  "faults": [
+    {
+      "direction": "both",
+      "commands": [
+        "COMPARE -- -- -- X0C",
+        "CORRUPT REPLACE -- -- -- X03"
+      ],
+      "mode": "on",
+      "duty_on_ms": 1,
+      "duty_period_ms": 100
+    }
+  ]
+}`
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit results as JSON")
+	example := fs.Bool("example", false, "print an example spec and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *example {
+		fmt.Println(exampleSpec)
+		return 0
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: campaign [-json] <spec.json> ...   (or -example)")
+		return 2
+	}
+	exit := 0
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+			exit = 1
+			continue
+		}
+		spec, err := campaign.ParseSpec(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		res := campaign.RunSpec(spec)
+		if *asJSON {
+			out, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+				exit = 1
+				continue
+			}
+			fmt.Println(string(out))
+			continue
+		}
+		fmt.Print(campaign.FormatSpecResult(res))
+	}
+	return exit
+}

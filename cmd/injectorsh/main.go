@@ -1,0 +1,76 @@
+// Command injectorsh is an interactive serial shell to a simulated fault
+// injector, the way a user at the RS-232 console would drive the real
+// board (§3.3). The injector sits in a live two-node network; commands
+// typed on stdin are carried over the simulated UART (at real serial-line
+// cost in virtual time), and the board's responses are printed.
+//
+// Try:
+//
+//	MODE ON
+//	COMPARE -- -- 18 18
+//	CORRUPT REPLACE -- -- 19 --
+//	STAT
+//	CAP
+//
+// Lines starting with '!' are shell controls:
+//
+//	!run <ms>    advance the simulation (default 100 ms of traffic)
+//	!stats       print network counters
+//	!quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"netfi/internal/campaign"
+	"netfi/internal/sim"
+)
+
+func main() {
+	tb := campaign.NewTestbed(campaign.TestbedConfig{Seed: 1})
+	load := tb.StartLoad(campaign.LoadConfig{})
+	defer load.Stop()
+
+	fmt.Println("netfi injector shell — type HELP-worthy commands (MODE/COMPARE/CORRUPT/CRC/INJECT/STAT/CAP/RESET/DIR), '!run N', '!stats', '!quit'")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("inj> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "!quit" || line == "!q":
+			return
+		case line == "!stats":
+			for i, n := range tb.Nodes {
+				fmt.Printf("node%d: %v\n", i, n.Interface().Counters())
+			}
+			fmt.Printf("load: sent=%d recv=%d corrupt-accepted=%d\n",
+				load.Sent(), load.Received(), load.CorruptAccepted())
+		case strings.HasPrefix(line, "!run"):
+			ms := 100.0
+			if f := strings.Fields(line); len(f) > 1 {
+				if v, err := strconv.ParseFloat(f[1], 64); err == nil {
+					ms = v
+				}
+			}
+			tb.K.RunFor(sim.Duration(ms * float64(sim.Millisecond)))
+			fmt.Printf("t=%v\n", tb.K.Now())
+		default:
+			before := len(tb.Console.Responses())
+			tb.Console.Send(line)
+			// Run until the serial exchange drains.
+			tb.K.RunFor(5 * sim.Millisecond)
+			for _, r := range tb.Console.Responses()[before:] {
+				fmt.Println(r)
+			}
+		}
+	}
+}

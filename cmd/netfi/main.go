@@ -1,0 +1,129 @@
+// Command netfi regenerates every table and figure of the paper's
+// evaluation from the simulated test bed:
+//
+//	netfi table1       FPGA synthesis results (Table 1)
+//	netfi table2       injector latency measurements (Table 2)
+//	netfi table4       control-symbol corruption campaign (Table 4)
+//	netfi sec431       throughput-collapse narratives (§4.3.1)
+//	netfi sec432       packet-type corruption (§4.3.2)
+//	netfi sec433       physical-address corruption + Fig. 11 (§4.3.3)
+//	netfi sec434       UDP checksum evasion (§4.3.4)
+//	netfi passthrough  transparency demonstration (§3.5 / Fig. 8)
+//	netfi all          everything above in order
+//
+// Flags:
+//
+//	-seed N    simulation seed (default 1)
+//	-scale F   scale experiment durations/rounds toward the paper's full
+//	           lengths (default 1.0; e.g. -scale 12 runs Table 2 with
+//	           240k ping-pong rounds and §4.3.1 for a full minute)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netfi/internal/campaign"
+	"netfi/internal/sim"
+	"netfi/internal/synth"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("netfi", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	scale := fs.Float64("scale", 1.0, "scale experiment length toward the paper's full runs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: netfi [-seed N] [-scale F] <table1|table2|table4|sec431|sec432|sec433|sec434|passthrough|all>")
+		return 2
+	}
+	cmds := map[string]func(int64, float64){
+		"table1":      table1,
+		"table2":      table2,
+		"table4":      table4,
+		"sec431":      sec431,
+		"sec432":      sec432,
+		"sec433":      sec433,
+		"sec434":      sec434,
+		"passthrough": passthrough,
+	}
+	name := fs.Arg(0)
+	if name == "all" {
+		for _, n := range []string{"table1", "table2", "table4", "sec431", "sec432", "sec433", "sec434", "passthrough"} {
+			fmt.Printf("==== %s ====\n", n)
+			cmds[n](*seed, *scale)
+			fmt.Println()
+		}
+		return 0
+	}
+	cmd, ok := cmds[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "netfi: unknown experiment %q\n", name)
+		return 2
+	}
+	cmd(*seed, *scale)
+	return 0
+}
+
+func table1(_ int64, _ float64) {
+	fmt.Println("Table 1: synthesis results of the FPGA code (structural estimate vs paper)")
+	fmt.Print(synth.Table1())
+}
+
+func table2(seed int64, scale float64) {
+	fmt.Println("Table 2: latency measurements (UDP ping-pong, with/without injector)")
+	rows := campaign.RunTable2(campaign.Table2Options{
+		Seed:   seed,
+		Rounds: int(20_000 * scale),
+	})
+	fmt.Print(campaign.FormatTable2(rows))
+}
+
+func table4(seed int64, scale float64) {
+	fmt.Println("Table 4: control symbol corruption campaign")
+	rows := campaign.RunTable4(campaign.Table4Options{
+		Seed:     seed,
+		Duration: sim.Duration(1700 * scale * float64(sim.Millisecond)),
+	})
+	fmt.Print(campaign.FormatTable4(rows))
+}
+
+func sec431(seed int64, scale float64) {
+	fmt.Println("Section 4.3.1: throughput under flow-control corruption")
+	res := campaign.RunSec431(campaign.Sec431Options{
+		Seed:     seed,
+		Duration: sim.Duration(5 * scale * float64(sim.Second)),
+	})
+	fmt.Print(campaign.FormatSec431(res))
+}
+
+func sec432(seed int64, _ float64) {
+	fmt.Println("Section 4.3.2: packet type corruption")
+	fmt.Print(campaign.FormatSec432(campaign.RunSec432(campaign.Sec432Options{Seed: seed})))
+}
+
+func sec433(seed int64, _ float64) {
+	fmt.Println("Section 4.3.3: physical address corruption (includes Fig. 11)")
+	fmt.Print(campaign.FormatSec433(campaign.RunSec433(campaign.Sec433Options{Seed: seed})))
+}
+
+func sec434(seed int64, _ float64) {
+	fmt.Println("Section 4.3.4: UDP address corruption / checksum evasion")
+	fmt.Print(campaign.FormatSec434(campaign.RunSec434(campaign.Sec434Options{Seed: seed})))
+}
+
+func passthrough(seed int64, scale float64) {
+	fmt.Println("Section 3.5: pass-through transparency")
+	res := campaign.RunPassThrough(campaign.PassThroughOptions{
+		Seed:     seed,
+		Duration: sim.Duration(2 * scale * float64(sim.Second)),
+	})
+	fmt.Print(campaign.FormatPassThrough(res))
+}

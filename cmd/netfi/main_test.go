@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunUsageErrors(t *testing.T) {
+	if code := run([]string{}); code != 2 {
+		t.Errorf("no args -> %d, want 2", code)
+	}
+	if code := run([]string{"bogus-experiment"}); code != 2 {
+		t.Errorf("unknown experiment -> %d, want 2", code)
+	}
+	if code := run([]string{"-not-a-flag"}); code != 2 {
+		t.Errorf("bad flag -> %d, want 2", code)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	if code := run([]string{"table1"}); code != 0 {
+		t.Errorf("table1 -> %d, want 0", code)
+	}
+}
+
+func TestRunSec434(t *testing.T) {
+	if code := run([]string{"-seed", "41", "sec434"}); code != 0 {
+		t.Errorf("sec434 -> %d, want 0", code)
+	}
+}

@@ -1,0 +1,3 @@
+module netfi
+
+go 1.22

@@ -1,0 +1,107 @@
+// Package bitstream provides the checksum and bit-manipulation primitives
+// shared by the network substrates: the CRC-8 that trails every Myrinet
+// packet (recomputed at each switch hop as route bytes are stripped), the
+// IEEE CRC-32 used by Fibre Channel frames, and the 16-bit one's-complement
+// checksum used by the UDP experiment in §4.3.4 of the paper.
+package bitstream
+
+// CRC8 computes the Myrinet trailing CRC over data using the CRC-8/ATM-HEC
+// polynomial x^8 + x^2 + x + 1 (0x07), MSB-first, zero initial value.
+// Myrinet appends this byte after the payload; each switch recomputes it
+// after consuming a route byte.
+func CRC8(data []byte) byte {
+	var crc byte
+	for _, b := range data {
+		crc = crc8Table[crc^b]
+	}
+	return crc
+}
+
+// CRC8Update extends a running CRC-8 with one byte.
+func CRC8Update(crc, b byte) byte { return crc8Table[crc^b] }
+
+var crc8Table = makeCRC8Table(0x07)
+
+func makeCRC8Table(poly byte) [256]byte {
+	var t [256]byte
+	for i := 0; i < 256; i++ {
+		crc := byte(i)
+		for bit := 0; bit < 8; bit++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ poly
+			} else {
+				crc <<= 1
+			}
+		}
+		t[i] = crc
+	}
+	return t
+}
+
+// CRC32 computes the Fibre Channel frame CRC (IEEE 802.3 polynomial,
+// reflected, initial value all-ones, final complement) over data.
+func CRC32(data []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc = crc32Table[byte(crc)^b] ^ crc>>8
+	}
+	return ^crc
+}
+
+var crc32Table = makeCRC32Table(0xEDB88320)
+
+func makeCRC32Table(poly uint32) [256]uint32 {
+	var t [256]uint32
+	for i := 0; i < 256; i++ {
+		crc := uint32(i)
+		for bit := 0; bit < 8; bit++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ poly
+			} else {
+				crc >>= 1
+			}
+		}
+		t[i] = crc
+	}
+	return t
+}
+
+// Checksum16 computes the 16-bit one's-complement checksum over data, as
+// used by UDP (RFC 768). Data is treated as a sequence of big-endian 16-bit
+// words; an odd trailing byte is padded with zero. The returned value is the
+// complement of the one's-complement sum, so a packet whose stored checksum
+// equals Checksum16 of its contents (with the checksum field zeroed)
+// verifies by summing to 0xFFFF.
+//
+// The §4.3.4 experiment relies on a real implementation: swapping two bytes
+// that are 16 bits apart swaps equal addends in the one's-complement sum,
+// which the checksum cannot detect.
+func Checksum16(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// VerifyChecksum16 reports whether data, which includes a stored checksum
+// field somewhere within it, sums (one's-complement) to all-ones.
+func VerifyChecksum16(data []byte) bool {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return uint16(sum) == 0xFFFF
+}

@@ -1,0 +1,150 @@
+package bitstream
+
+import (
+	"bytes"
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC8KnownVectors(t *testing.T) {
+	// CRC-8/ATM-HEC ("123456789" -> 0xF4 is the standard check value for
+	// poly 0x07, init 0, no reflection).
+	cases := []struct {
+		in   string
+		want byte
+	}{
+		{"", 0x00},
+		{"123456789", 0xF4},
+		{"\x00", 0x00},
+		{"\xFF", 0xF3},
+	}
+	for _, c := range cases {
+		if got := CRC8([]byte(c.in)); got != c.want {
+			t.Errorf("CRC8(%q) = %#02x, want %#02x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCRC8UpdateMatchesWholeBuffer(t *testing.T) {
+	data := []byte("myrinet packet body with route bytes")
+	var crc byte
+	for _, b := range data {
+		crc = CRC8Update(crc, b)
+	}
+	if want := CRC8(data); crc != want {
+		t.Errorf("incremental CRC8 = %#02x, want %#02x", crc, want)
+	}
+}
+
+func TestCRC8DetectsSingleBitErrors(t *testing.T) {
+	data := []byte{0x81, 0x00, 0x04, 0xDE, 0xAD, 0xBE, 0xEF}
+	good := CRC8(data)
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			mutated := append([]byte(nil), data...)
+			mutated[i] ^= 1 << bit
+			if CRC8(mutated) == good {
+				t.Errorf("single-bit flip at byte %d bit %d not detected", i, bit)
+			}
+		}
+	}
+}
+
+// Property: CRC-8 is linear over GF(2): crc(a^b) == crc(a)^crc(b) for
+// equal-length inputs (with zero init, no final xor).
+func TestCRC8Linearity(t *testing.T) {
+	prop := func(a, b []byte) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		x := make([]byte, n)
+		for i := range x {
+			x[i] = a[i] ^ b[i]
+		}
+		return CRC8(x) == CRC8(a)^CRC8(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRC32MatchesStdlib(t *testing.T) {
+	prop := func(data []byte) bool {
+		return CRC32(data) == crc32.ChecksumIEEE(data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksum16KnownVector(t *testing.T) {
+	// Classic example from RFC 1071 discussions: verify by summing back in.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	sum := Checksum16(data)
+	withSum := append(append([]byte(nil), data...), byte(sum>>8), byte(sum))
+	if !VerifyChecksum16(withSum) {
+		t.Errorf("Checksum16 round trip failed: sum=%#04x", sum)
+	}
+}
+
+func TestChecksum16OddLength(t *testing.T) {
+	data := []byte{0xAB, 0xCD, 0xEF}
+	sum := Checksum16(data)
+	// Appending the checksum after padding semantics: verify manually.
+	var s uint32 = 0xABCD + 0xEF00 + uint32(sum)
+	for s>>16 != 0 {
+		s = s&0xFFFF + s>>16
+	}
+	if uint16(s) != 0xFFFF {
+		t.Errorf("odd-length checksum does not verify: %#04x", s)
+	}
+}
+
+// Property: swapping two bytes exactly 16 bits apart is invisible to the
+// one's-complement checksum. This is precisely the fault the paper's §4.3.4
+// injection exploits ("Have a lot of fun" -> "veHa a lot of fun").
+func TestChecksum16BlindToAlignedSwaps(t *testing.T) {
+	prop := func(data []byte, idx uint8) bool {
+		if len(data) < 4 {
+			return true
+		}
+		i := int(idx) % (len(data) - 2)
+		// Swap data[i] with data[i+2]: same column in the 16-bit sum.
+		mutated := append([]byte(nil), data...)
+		mutated[i], mutated[i+2] = mutated[i+2], mutated[i]
+		return Checksum16(mutated) == Checksum16(data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksum16HaveALotOfFun(t *testing.T) {
+	orig := []byte("Have a lot of fun")
+	swapped := []byte("veHa a lot of fun")
+	// "Have" -> "veHa" swaps bytes 0<->2 and 1<->3, both 16 bits apart.
+	if Checksum16(orig) != Checksum16(swapped) {
+		t.Error("checksum detected the 16-bit-aligned swap; the paper's fault should be invisible")
+	}
+	// A swap that is NOT 16-bit aligned is detected.
+	detected := append([]byte(nil), orig...)
+	detected[0], detected[1] = detected[1], detected[0]
+	if Checksum16(detected) == Checksum16(orig) && !bytes.Equal(detected, orig) {
+		t.Error("adjacent-byte swap unexpectedly evaded the checksum")
+	}
+}
+
+func TestChecksum16DetectsSingleBitErrors(t *testing.T) {
+	data := []byte("UDP payload under test 1234")
+	good := Checksum16(data)
+	for i := range data {
+		mutated := append([]byte(nil), data...)
+		mutated[i] ^= 0x40
+		if Checksum16(mutated) == good {
+			t.Errorf("bit error at byte %d not detected", i)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package bitstream
+
+// Word utilities for the injector's 32-bit datapath. The FPGA shifts the
+// incoming byte stream into 32-bit compare registers and matches with a
+// "don't care" mask (§3.3), so byte/word packing order matters: bytes enter
+// most-significant first, matching the order they appear on the wire.
+
+// PackWord packs up to four bytes, wire order first byte in the most
+// significant position, into a 32-bit word. Fewer than four bytes leave the
+// low-order positions zero.
+func PackWord(b []byte) uint32 {
+	var w uint32
+	for i := 0; i < 4 && i < len(b); i++ {
+		w |= uint32(b[i]) << (24 - 8*i)
+	}
+	return w
+}
+
+// UnpackWord reverses PackWord into four bytes.
+func UnpackWord(w uint32) [4]byte {
+	return [4]byte{byte(w >> 24), byte(w >> 16), byte(w >> 8), byte(w)}
+}
+
+// MatchMasked reports whether got matches want under mask: only bit
+// positions set in mask participate in the comparison (mask bit 0 = "don't
+// care"). This is the compare-data/compare-mask operation of the injector's
+// trigger logic.
+func MatchMasked(got, want, mask uint32) bool {
+	return (got^want)&mask == 0
+}
+
+// ApplyToggle flips the bits of w selected by corrupt (corrupt-mode
+// "toggle": errors appear at the bit positions that are logic one in the
+// corrupt data vector).
+func ApplyToggle(w, corrupt uint32) uint32 { return w ^ corrupt }
+
+// ApplyReplace substitutes the bits of w selected by mask with the
+// corresponding bits of corrupt (corrupt-mode "replace" under the corrupt
+// mask; mask bits at zero pass the original data unchanged).
+func ApplyReplace(w, corrupt, mask uint32) uint32 {
+	return w&^mask | corrupt&mask
+}
+
+// OnesCount32 counts set bits; used by fault-distance assertions in tests.
+func OnesCount32(w uint32) int {
+	n := 0
+	for w != 0 {
+		w &= w - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,92 @@
+package bitstream
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackWordRoundTrip(t *testing.T) {
+	prop := func(a, b, c, d byte) bool {
+		w := PackWord([]byte{a, b, c, d})
+		u := UnpackWord(w)
+		return u == [4]byte{a, b, c, d}
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackWordShortInput(t *testing.T) {
+	if got := PackWord([]byte{0xAB}); got != 0xAB000000 {
+		t.Errorf("PackWord(1 byte) = %#08x, want 0xAB000000", got)
+	}
+	if got := PackWord(nil); got != 0 {
+		t.Errorf("PackWord(nil) = %#08x, want 0", got)
+	}
+	if got := PackWord([]byte{1, 2, 3, 4, 5, 6}); got != 0x01020304 {
+		t.Errorf("PackWord(>4 bytes) = %#08x, want 0x01020304", got)
+	}
+}
+
+func TestMatchMasked(t *testing.T) {
+	cases := []struct {
+		got, want, mask uint32
+		match           bool
+	}{
+		{0x18181818, 0x18181818, 0xFFFFFFFF, true},
+		{0x18181819, 0x18181818, 0xFFFFFFFF, false},
+		{0x18181819, 0x18181818, 0xFFFFFF00, true}, // low byte don't-care
+		{0xDEADBEEF, 0x0000BE00, 0x0000FF00, true}, // 8-bit window
+		{0xDEADBEEF, 0x00000000, 0x00000000, true}, // all don't-care always matches
+	}
+	for _, c := range cases {
+		if got := MatchMasked(c.got, c.want, c.mask); got != c.match {
+			t.Errorf("MatchMasked(%#x,%#x,%#x) = %v, want %v", c.got, c.want, c.mask, got, c.match)
+		}
+	}
+}
+
+// Property: toggle is an involution; applying the same corrupt vector twice
+// restores the original word.
+func TestApplyToggleInvolution(t *testing.T) {
+	prop := func(w, corrupt uint32) bool {
+		return ApplyToggle(ApplyToggle(w, corrupt), corrupt) == w
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: replace only changes bits under the mask, and changed bits equal
+// the corrupt vector's bits.
+func TestApplyReplaceMaskDiscipline(t *testing.T) {
+	prop := func(w, corrupt, mask uint32) bool {
+		out := ApplyReplace(w, corrupt, mask)
+		if out&^mask != w&^mask {
+			return false // touched a bit outside the mask
+		}
+		return out&mask == corrupt&mask
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyReplaceZeroMaskIsIdentity(t *testing.T) {
+	prop := func(w, corrupt uint32) bool {
+		return ApplyReplace(w, corrupt, 0) == w
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnesCount32MatchesStdlib(t *testing.T) {
+	prop := func(w uint32) bool {
+		return OnesCount32(w) == bits.OnesCount32(w)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package campaign
+
+import (
+	"testing"
+
+	"netfi/internal/myrinet"
+	"netfi/internal/sim"
+)
+
+// controlCodes are every byte value the Table 4 campaign may match on: the
+// canonical control-symbol codes plus the degraded forms the decode rules
+// still accept.
+var controlCodes = []byte{
+	myrinet.SymIdle, myrinet.SymGo, myrinet.SymGap, myrinet.SymStop, 0x02, 0x08,
+}
+
+// TestNodeMACsAvoidControlCodes guards the workload discipline of §4.3.1
+// ("the symbol mask we corrupted did not appear in the message itself"),
+// extended to addresses: a MAC byte equal to a control-symbol code would
+// silently turn every byte-value corruption campaign into an address
+// corruption campaign (it did, during development — node2's MAC used to
+// end in 0x03, and the GO rows nuked everything addressed to it).
+func TestNodeMACsAvoidControlCodes(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		mac := NodeMAC(i)
+		for _, b := range mac {
+			for _, code := range controlCodes {
+				if b == code {
+					t.Errorf("NodeMAC(%d) = %v contains control code %#02x", i, mac, code)
+				}
+			}
+		}
+	}
+}
+
+// TestNodeMACsDistinct: campaigns rely on address uniqueness for the
+// misaddressed/ghost experiments.
+func TestNodeMACsDistinct(t *testing.T) {
+	seen := map[myrinet.MAC]int{}
+	for i := 0; i < 8; i++ {
+		m := NodeMAC(i)
+		if prev, dup := seen[m]; dup {
+			t.Errorf("NodeMAC(%d) == NodeMAC(%d)", i, prev)
+		}
+		seen[m] = i
+	}
+}
+
+// TestLoadPayloadsAvoidControlCodes: every byte of every workload payload —
+// tag, sequence stamp, filler — must stay clear of the maskable codes so
+// Table 4's losses are attributable to control-symbol corruption alone.
+func TestLoadPayloadsAvoidControlCodes(t *testing.T) {
+	tb := NewTestbed(TestbedConfig{Seed: 1})
+	load := tb.StartLoad(LoadConfig{})
+	for i := 0; i < 500; i++ {
+		p := load.payload()
+		for j, b := range p {
+			for _, code := range controlCodes {
+				if b == code {
+					t.Fatalf("payload %d byte %d = %#02x is a control code", i, j, b)
+				}
+			}
+		}
+	}
+	load.Stop()
+}
+
+// TestLoadUDPHeadersAvoidMaskCodes: the fixed parts of the UDP header the
+// campaign cannot randomize away (ports, length) must avoid the three mask
+// codes 0x0F/0x0C/0x03; only the checksum and trailing CRC remain at risk —
+// the collateral channel EXPERIMENTS.md documents.
+func TestLoadUDPHeadersAvoidMaskCodes(t *testing.T) {
+	var (
+		srcPort uint16 = loadSrcPort
+		dstPort uint16 = loadDstPort
+		length  uint16 = 512 + 8
+	)
+	fixed := []byte{
+		byte(srcPort >> 8), byte(srcPort), byte(dstPort >> 8), byte(dstPort),
+		byte(length >> 8), byte(length),
+	}
+	for _, b := range fixed {
+		for _, code := range []byte{myrinet.SymStop, myrinet.SymGap, myrinet.SymGo} {
+			if b == code {
+				t.Errorf("UDP header byte %#02x collides with mask code %#02x", b, code)
+			}
+		}
+	}
+}
+
+// TestTestbedTapNodeSelection: the injector must sit on the configured
+// node's cable — experiments that tap node 2 (the chameleon example)
+// depend on it.
+func TestTestbedTapNodeSelection(t *testing.T) {
+	tb := NewTestbed(TestbedConfig{Seed: 1, TapNode: 2})
+	if tb.TapNode() != tb.Nodes[2] {
+		t.Fatal("TapNode() does not match config")
+	}
+	// Traffic from node2 must pass the injector; node0<->node1 must not.
+	tb.Nodes[2].SendUDP(NodeMAC(0), 9000, 9001, []byte("through tap"))
+	tb.Nodes[0].SendUDP(NodeMAC(1), 9000, 9001, []byte("around tap"))
+	tb.K.RunFor(5 * sim.Millisecond)
+	co, _, _ := tb.Injector.Engine(DirOutbound).Stats()
+	if co == 0 {
+		t.Error("tapped node's traffic bypassed the injector")
+	}
+}

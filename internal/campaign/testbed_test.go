@@ -1,0 +1,121 @@
+package campaign
+
+import (
+	"testing"
+
+	"netfi/internal/core"
+	"netfi/internal/sim"
+)
+
+func TestTestbedBaselineLossFree(t *testing.T) {
+	// The Fig. 10 test bed under full contended load, injector in
+	// pass-through: flow control must make the baseline loss-free.
+	tb := NewTestbed(TestbedConfig{Seed: 1})
+	load := tb.StartLoad(LoadConfig{})
+	tb.K.RunFor(2 * sim.Second)
+	load.Stop()
+	tb.K.RunFor(100 * sim.Millisecond)
+	if load.Sent() == 0 {
+		t.Fatal("load sent nothing")
+	}
+	if load.Received() != load.Sent() {
+		t.Errorf("baseline loss: sent %d received %d (%.1f%%)",
+			load.Sent(), load.Received(), 100*load.LossRate())
+	}
+	if load.CorruptAccepted() != 0 {
+		t.Errorf("corrupt payloads accepted at baseline: %d", load.CorruptAccepted())
+	}
+	// ~800 msg/s per node x 3 nodes x 2 s.
+	if load.Sent() < 4000 || load.Sent() > 5200 {
+		t.Errorf("sent = %d, want ~4800", load.Sent())
+	}
+}
+
+func TestTestbedFlowControlActive(t *testing.T) {
+	// The contended workload must actually exercise STOP/GO — the Table 4
+	// campaign corrupts those symbols, so they need to exist.
+	tb := NewTestbed(TestbedConfig{Seed: 1})
+	load := tb.StartLoad(LoadConfig{})
+	tb.K.RunFor(sim.Second)
+	load.Stop()
+	tb.K.RunFor(50 * sim.Millisecond)
+	var stops, gos uint64
+	for p := 0; p < tb.Switch.Ports(); p++ {
+		c := tb.Switch.PortCounters(p)
+		stops += c.StopsSent
+		gos += c.GosSent
+	}
+	if stops == 0 || gos == 0 {
+		t.Errorf("no flow control under contended load: stops=%d gos=%d", stops, gos)
+	}
+}
+
+func TestTestbedMappingWarmup(t *testing.T) {
+	tb := NewTestbed(TestbedConfig{Seed: 1, Mapping: true, MapPeriod: 100 * sim.Millisecond})
+	// After warmup every node must have routes to both others.
+	for i, n := range tb.Nodes {
+		for j := range tb.Nodes {
+			if i == j {
+				continue
+			}
+			if _, ok := n.Interface().Route(NodeMAC(j)); !ok {
+				t.Errorf("node %d missing route to node %d after warmup", i, j)
+			}
+		}
+	}
+	if !tb.Nodes[2].Interface().MCP().IsMapper() {
+		t.Error("highest-ID node is not the mapper")
+	}
+}
+
+func TestTestbedSerialConfiguration(t *testing.T) {
+	tb := NewTestbed(TestbedConfig{Seed: 1})
+	tb.Configure("DIR L", "MODE ONCE", "COMPARE -- -- -- C0F")
+	if tb.Injector.Engine(DirOutbound).Config().Match != core.MatchOnce {
+		t.Error("serial configuration did not reach the injector")
+	}
+	for _, r := range tb.Console.Responses() {
+		if r != "OK" {
+			t.Errorf("unexpected response %q", r)
+		}
+	}
+}
+
+func TestTestbedDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		tb := NewTestbed(TestbedConfig{Seed: 42})
+		load := tb.StartLoad(LoadConfig{})
+		tb.K.RunFor(500 * sim.Millisecond)
+		load.Stop()
+		tb.K.RunFor(50 * sim.Millisecond)
+		return load.Sent(), load.Received()
+	}
+	s1, r1 := run()
+	s2, r2 := run()
+	if s1 != s2 || r1 != r2 {
+		t.Errorf("runs diverged: (%d,%d) vs (%d,%d)", s1, r1, s2, r2)
+	}
+}
+
+func TestTestbedInjectorSeesTraffic(t *testing.T) {
+	tb := NewTestbed(TestbedConfig{Seed: 1})
+	load := tb.StartLoad(LoadConfig{})
+	tb.K.RunFor(200 * sim.Millisecond)
+	load.Stop()
+	tb.K.RunFor(50 * sim.Millisecond)
+	chars, _, _ := tb.Injector.Engine(DirOutbound).Stats()
+	if chars == 0 {
+		t.Error("injector saw no outbound characters")
+	}
+	total, _ := tb.Injector.PacketStats(DirOutbound).Packets()
+	if total == 0 {
+		t.Error("packet stats counted nothing")
+	}
+	// The per-identifier counters must attribute traffic to the tapped
+	// node's source address (§3.2 statistics gathering).
+	src := [6]byte(NodeMAC(0))
+	dst := [6]byte(NodeMAC(1))
+	if tb.Injector.PacketStats(DirOutbound).PairCount(src, dst) == 0 {
+		t.Error("no packets attributed to tap->node1")
+	}
+}

@@ -1,0 +1,38 @@
+package campaign
+
+import "testing"
+
+func TestOutcomeClassification(t *testing.T) {
+	cases := []struct {
+		name            string
+		sent, recv      uint64
+		corruptAccepted uint64
+		want            string
+	}{
+		{"clean run", 100, 100, 0, "no-effect"},
+		{"drops only", 100, 90, 0, "passive"},
+		{"corrupt data accepted", 100, 99, 1, "active"},
+		{"active dominates passive", 100, 50, 2, "active"},
+	}
+	for _, c := range cases {
+		l := &Load{sent: c.sent, received: c.recv, corruptAccepted: c.corruptAccepted}
+		got := l.Classify()
+		if got.Classification != c.want {
+			t.Errorf("%s: classification = %q, want %q", c.name, got.Classification, c.want)
+		}
+		if got.Sent != c.sent || got.Received != c.recv {
+			t.Errorf("%s: counters not carried through", c.name)
+		}
+	}
+}
+
+func TestLoadLossRate(t *testing.T) {
+	l := &Load{sent: 200, received: 150}
+	if got := l.LossRate(); got != 0.25 {
+		t.Errorf("LossRate = %v, want 0.25", got)
+	}
+	empty := &Load{}
+	if got := empty.LossRate(); got != 0 {
+		t.Errorf("empty LossRate = %v, want 0", got)
+	}
+}

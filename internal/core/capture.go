@@ -1,0 +1,103 @@
+package core
+
+import "netfi/internal/phy"
+
+// Capture geometry defaults: how much context around an injection the FPGA
+// keeps ("the bytes surrounding the fault injection event", §3.2).
+const (
+	DefaultCapturePre  = 16
+	DefaultCapturePost = 16
+)
+
+// CaptureRing records the characters surrounding fault-injection events so
+// the user has "sufficient dynamic state information about the environment
+// in which the fault injection was performed" (§3.2). It continuously
+// observes the stream into a pre-trigger ring; when an injection fires it
+// snapshots the ring and keeps recording until the post-trigger quota
+// fills.
+//
+// The zero value is not usable; construct with NewCaptureRing.
+type CaptureRing struct {
+	pre  []phy.Character
+	head int
+	full bool
+
+	post      int
+	capturing bool
+	remaining int
+	snapshot  []phy.Character
+
+	events []Capture
+}
+
+// Capture is one completed injection-context record.
+type Capture struct {
+	// Context holds the pre-injection characters followed by the
+	// post-injection characters; the injection point sits right after
+	// the pre region.
+	Context []phy.Character
+	// PreLen is the number of pre-injection characters in Context.
+	PreLen int
+}
+
+// NewCaptureRing returns a ring keeping pre characters before and post
+// characters after each injection.
+func NewCaptureRing(pre, post int) *CaptureRing {
+	if pre <= 0 || post <= 0 {
+		panic("core: capture geometry must be positive")
+	}
+	return &CaptureRing{pre: make([]phy.Character, pre), post: post}
+}
+
+// Observe records one stream character.
+func (r *CaptureRing) Observe(c phy.Character) {
+	if r.capturing {
+		r.snapshot = append(r.snapshot, c)
+		r.remaining--
+		if r.remaining == 0 {
+			r.events = append(r.events, Capture{
+				Context: r.snapshot,
+				PreLen:  len(r.snapshot) - r.post,
+			})
+			r.capturing = false
+			r.snapshot = nil
+		}
+	}
+	r.pre[r.head] = c
+	r.head = (r.head + 1) % len(r.pre)
+	if r.head == 0 {
+		r.full = true
+	}
+}
+
+// MarkInjection snapshots the pre ring and starts post-trigger recording.
+// A second injection during an active capture extends nothing: the first
+// capture completes with its original quota (matching a hardware ring that
+// cannot re-trigger while dumping).
+func (r *CaptureRing) MarkInjection() {
+	if r.capturing {
+		return
+	}
+	r.capturing = true
+	r.remaining = r.post
+	r.snapshot = append(r.snapshot, r.preContents()...)
+}
+
+func (r *CaptureRing) preContents() []phy.Character {
+	if !r.full {
+		return append([]phy.Character(nil), r.pre[:r.head]...)
+	}
+	out := make([]phy.Character, 0, len(r.pre))
+	out = append(out, r.pre[r.head:]...)
+	return append(out, r.pre[:r.head]...)
+}
+
+// Events returns the completed captures.
+func (r *CaptureRing) Events() []Capture { return r.events }
+
+// Reset discards all completed captures and any in-progress one.
+func (r *CaptureRing) Reset() {
+	r.events = nil
+	r.capturing = false
+	r.snapshot = nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"netfi/internal/phy"
+)
+
+func TestCaptureRingRecordsContext(t *testing.T) {
+	r := NewCaptureRing(4, 3)
+	for i := byte(0); i < 10; i++ {
+		r.Observe(phy.DataChar(i))
+	}
+	r.MarkInjection()
+	for i := byte(10); i < 20; i++ {
+		r.Observe(phy.DataChar(i))
+	}
+	events := r.Events()
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.PreLen != 4 {
+		t.Errorf("PreLen = %d, want 4", ev.PreLen)
+	}
+	want := []byte{6, 7, 8, 9, 10, 11, 12}
+	if len(ev.Context) != len(want) {
+		t.Fatalf("context length = %d, want %d", len(ev.Context), len(want))
+	}
+	for i, b := range want {
+		if ev.Context[i].Byte() != b {
+			t.Errorf("context[%d] = %v, want %d", i, ev.Context[i], b)
+		}
+	}
+}
+
+func TestCaptureRingPartialPreBuffer(t *testing.T) {
+	r := NewCaptureRing(8, 2)
+	r.Observe(phy.DataChar(1))
+	r.Observe(phy.DataChar(2))
+	r.MarkInjection()
+	r.Observe(phy.DataChar(3))
+	r.Observe(phy.DataChar(4))
+	events := r.Events()
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	if events[0].PreLen != 2 {
+		t.Errorf("PreLen = %d, want 2 (only two chars seen)", events[0].PreLen)
+	}
+}
+
+func TestCaptureRingNoRetriggerWhileActive(t *testing.T) {
+	r := NewCaptureRing(2, 4)
+	for i := byte(0); i < 4; i++ {
+		r.Observe(phy.DataChar(i))
+	}
+	r.MarkInjection()
+	r.Observe(phy.DataChar(10))
+	r.MarkInjection() // during active capture: ignored
+	for i := byte(11); i < 15; i++ {
+		r.Observe(phy.DataChar(i))
+	}
+	if got := len(r.Events()); got != 1 {
+		t.Errorf("events = %d, want 1 (no retrigger while dumping)", got)
+	}
+}
+
+func TestCaptureRingMultipleSequentialEvents(t *testing.T) {
+	r := NewCaptureRing(2, 2)
+	feed := func(n int) {
+		for i := 0; i < n; i++ {
+			r.Observe(phy.DataChar(byte(i)))
+		}
+	}
+	feed(5)
+	r.MarkInjection()
+	feed(5)
+	r.MarkInjection()
+	feed(5)
+	if got := len(r.Events()); got != 2 {
+		t.Errorf("events = %d, want 2", got)
+	}
+}
+
+func TestCaptureRingReset(t *testing.T) {
+	r := NewCaptureRing(2, 2)
+	r.Observe(phy.DataChar(1))
+	r.MarkInjection()
+	r.Observe(phy.DataChar(2))
+	r.Observe(phy.DataChar(3))
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Error("events survive Reset")
+	}
+}
+
+func TestCaptureGeometryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capture geometry did not panic")
+		}
+	}()
+	NewCaptureRing(0, 1)
+}

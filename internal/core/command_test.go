@@ -1,0 +1,188 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"netfi/internal/phy"
+	"netfi/internal/sim"
+)
+
+func newTestDecoder(t *testing.T) (*Device, *CommandDecoder) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	dev := NewDevice(k, DeviceConfig{Name: "inj"})
+	return dev, NewCommandDecoder(dev)
+}
+
+func TestCommandModeAndCompare(t *testing.T) {
+	dev, dec := newTestDecoder(t)
+	for _, cmd := range []string{
+		"MODE ON",
+		"COMPARE -- -- 18 18",
+		"CORRUPT REPLACE -- -- 19 --",
+	} {
+		if resp := dec.Exec(cmd); resp != "OK" {
+			t.Fatalf("%q -> %q", cmd, resp)
+		}
+	}
+	cfg := dev.Engine(LeftToRight).Config()
+	if cfg.Match != MatchOn {
+		t.Errorf("Match = %v", cfg.Match)
+	}
+	if cfg.CompareData[2] != phy.DataChar(0x18) || cfg.CompareMask[2] != MaskFull {
+		t.Errorf("compare[2] = %v/%v", cfg.CompareData[2], cfg.CompareMask[2])
+	}
+	if cfg.CompareMask[0] != MaskNone {
+		t.Errorf("compare[0] mask = %v, want don't-care", cfg.CompareMask[0])
+	}
+	if cfg.Corrupt != CorruptReplace || cfg.CorruptData[2] != phy.DataChar(0x19) {
+		t.Errorf("corrupt config wrong: %+v", cfg)
+	}
+	if cfg.CorruptMask[3] != MaskNone {
+		t.Errorf("corrupt[3] must pass unchanged")
+	}
+}
+
+func TestCommandControlSymbolEntries(t *testing.T) {
+	dev, dec := newTestDecoder(t)
+	// The Table 4 operation: replace STOP with GO.
+	if resp := dec.Exec("COMPARE -- -- -- C0F"); resp != "OK" {
+		t.Fatal(resp)
+	}
+	if resp := dec.Exec("CORRUPT REPLACE -- -- -- C03"); resp != "OK" {
+		t.Fatal(resp)
+	}
+	cfg := dev.Engine(LeftToRight).Config()
+	if cfg.CompareData[3] != phy.ControlChar(0x0F) {
+		t.Errorf("compare[3] = %v, want C:0f", cfg.CompareData[3])
+	}
+	if cfg.CorruptData[3] != phy.ControlChar(0x03) {
+		t.Errorf("corrupt[3] = %v, want C:03", cfg.CorruptData[3])
+	}
+}
+
+func TestCommandDataOnlyMaskEntry(t *testing.T) {
+	dev, dec := newTestDecoder(t)
+	if resp := dec.Exec("COMPARE X0F -- -- --"); resp != "OK" {
+		t.Fatal(resp)
+	}
+	cfg := dev.Engine(LeftToRight).Config()
+	if cfg.CompareMask[0] != MaskData {
+		t.Errorf("mask = %#x, want MaskData", cfg.CompareMask[0])
+	}
+}
+
+func TestCommandToggleDCEntry(t *testing.T) {
+	dev, dec := newTestDecoder(t)
+	if resp := dec.Exec("CORRUPT TOGGLE -- -- -- !01"); resp != "OK" {
+		t.Fatal(resp)
+	}
+	cfg := dev.Engine(LeftToRight).Config()
+	if cfg.CorruptData[3] != phy.Character(0x101) {
+		t.Errorf("toggle vector = %#x, want 0x101", uint16(cfg.CorruptData[3]))
+	}
+}
+
+func TestCommandDirSelectsEngine(t *testing.T) {
+	dev, dec := newTestDecoder(t)
+	dec.Exec("DIR R")
+	dec.Exec("MODE ONCE")
+	if dev.Engine(RightToLeft).Config().Match != MatchOnce {
+		t.Error("R engine not configured")
+	}
+	if dev.Engine(LeftToRight).Config().Match != MatchOff {
+		t.Error("L engine unexpectedly configured")
+	}
+	dec.Exec("DIR L")
+	dec.Exec("MODE ON")
+	if dev.Engine(LeftToRight).Config().Match != MatchOn {
+		t.Error("L engine not configured after DIR L")
+	}
+}
+
+func TestCommandErrors(t *testing.T) {
+	_, dec := newTestDecoder(t)
+	for _, cmd := range []string{
+		"BOGUS",
+		"MODE",
+		"MODE MAYBE",
+		"DIR X",
+		"COMPARE 18 18", // wrong arity
+		"COMPARE ZZ -- -- --",
+		"CORRUPT SCRAMBLE -- -- -- --",
+		"CORRUPT REPLACE -- -- -- C0FF", // bad entry length
+		"CRC SOMETIMES",
+	} {
+		if resp := dec.Exec(cmd); !strings.HasPrefix(resp, "ERR") {
+			t.Errorf("%q -> %q, want ERR", cmd, resp)
+		}
+	}
+	total, errs := dec.Commands()
+	if total != 9 || errs != 9 {
+		t.Errorf("commands=%d errors=%d, want 9/9", total, errs)
+	}
+}
+
+func TestCommandStatAndReset(t *testing.T) {
+	dev, dec := newTestDecoder(t)
+	eng := dev.Engine(LeftToRight)
+	_ = eng.Process(phy.DataChars([]byte{1, 2, 3}))
+	resp := dec.Exec("STAT")
+	if !strings.Contains(resp, "chars=3") {
+		t.Errorf("STAT = %q, want chars=3", resp)
+	}
+	dec.Exec("MODE ON")
+	dec.Exec("RESET")
+	if eng.Config().Match != MatchOff {
+		t.Error("RESET did not clear config")
+	}
+}
+
+func TestCommandByteStreamAssembly(t *testing.T) {
+	_, dec := newTestDecoder(t)
+	var out []byte
+	dec.SetOutput(func(b byte) { out = append(out, b) })
+	for _, b := range []byte("MODE ON\r\nINJECT\n") {
+		dec.InputByte(b)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 2 || lines[0] != "OK" || lines[1] != "OK" {
+		t.Errorf("responses = %q", lines)
+	}
+}
+
+func TestCommandLowercaseAccepted(t *testing.T) {
+	dev, dec := newTestDecoder(t)
+	if resp := dec.Exec("mode once"); resp != "OK" {
+		t.Fatal(resp)
+	}
+	if dev.Engine(LeftToRight).Config().Match != MatchOnce {
+		t.Error("lowercase command not applied")
+	}
+}
+
+func TestCommandInjectNow(t *testing.T) {
+	dev, dec := newTestDecoder(t)
+	dec.Exec("CORRUPT TOGGLE -- -- -- FF")
+	dec.Exec("INJECT")
+	eng := dev.Engine(LeftToRight)
+	out := append(eng.Process(phy.DataChars([]byte{0x00})), eng.Flush()...)
+	if out[0].Byte() != 0xFF {
+		t.Errorf("inject-now did not corrupt: %v", out[0])
+	}
+}
+
+func TestCommandCapReportsEvents(t *testing.T) {
+	dev, dec := newTestDecoder(t)
+	dec.Exec("MODE ON")
+	dec.Exec("COMPARE -- -- -- AA")
+	dec.Exec("CORRUPT TOGGLE -- -- -- 01")
+	eng := dev.Engine(LeftToRight)
+	stream := append([]byte{1, 2, 0xAA}, make([]byte, DefaultCapturePost+4)...)
+	_ = eng.Process(phy.DataChars(stream))
+	resp := dec.Exec("CAP")
+	if !strings.Contains(resp, "events=1") {
+		t.Errorf("CAP = %q, want events=1", resp)
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+
+	"netfi/internal/phy"
+	"netfi/internal/sim"
+)
+
+// Direction selects one of the device's two independent injection paths
+// (§3.3: "the architecture supports bi-directional fault injection", with
+// different and independent commands per direction).
+type Direction int
+
+// Directions, named after the paper's "left going" and "right going" data.
+const (
+	// LeftToRight corrupts data flowing from the left splice end to the
+	// right.
+	LeftToRight Direction = iota
+	// RightToLeft corrupts data flowing the other way.
+	RightToLeft
+)
+
+// String returns "L2R" or "R2L".
+func (d Direction) String() string {
+	if d == RightToLeft {
+		return "R2L"
+	}
+	return "L2R"
+}
+
+// DeviceConfig parameterizes the injector hardware model.
+type DeviceConfig struct {
+	// Name labels the device.
+	Name string
+	// SlackChars is the pipeline depth in characters; zero selects
+	// DefaultSlackChars (the ~250 ns of footnote 5).
+	SlackChars int
+	// CharPeriod is the line character period used to convert the
+	// pipeline depth into latency; zero selects 12.5 ns (Myrinet at
+	// 80 MB/s).
+	CharPeriod sim.Duration
+	// ExtraLatency models the transceiver (PHY chip) delay on top of
+	// the FIFO pipeline.
+	ExtraLatency sim.Duration
+	// IdleChar is the character idle fill pushes through the pipeline
+	// when the wire is quiet between bursts (real hardware clocks
+	// continuously; the burst model synthesizes the idles). The zero
+	// value is the Myrinet IDLE control character; Fibre Channel splices
+	// should use a neutral data code group the far port ignores.
+	IdleChar phy.Character
+}
+
+// Device is the assembled fault injector: two FIFO-injector engines (one
+// per direction), per-direction pass-through statistics, and the insertion
+// plumbing that splices the device into a live cable. Command-level control
+// (the serial path) lives in CommandDecoder, which drives this device.
+//
+// The zero value is not usable; construct with NewDevice.
+type Device struct {
+	k   *sim.Kernel
+	cfg DeviceConfig
+
+	engines [2]*Engine
+	stats   [2]*PacketStats
+	ports   [2]*devicePort
+
+	inserted bool
+}
+
+// devicePort is one direction's receive side: it clocks the engine and
+// forwards the released characters downstream after the pipeline latency.
+type devicePort struct {
+	dev        *Device
+	dir        Direction
+	downstream phy.Receiver
+
+	lastEnd sim.Time // when the previous burst finished arriving
+	// entries holds the wire entry time of every character still inside
+	// the engine's FIFO (parallel to it), so released characters leave
+	// at exactly entry + pipeline latency — the constant-delay behaviour
+	// of the continuously clocked hardware. Without it, batched pops
+	// would time-compress flow-control symbols and falsely trip the
+	// remote's 16-character short timeout.
+	entries    []sim.Time
+	flushArmed bool
+	flushEvent sim.EventID
+}
+
+// NewDevice builds an injector.
+func NewDevice(k *sim.Kernel, cfg DeviceConfig) *Device {
+	if cfg.SlackChars == 0 {
+		cfg.SlackChars = DefaultSlackChars
+	}
+	if cfg.CharPeriod == 0 {
+		cfg.CharPeriod = 12_500 * sim.Picosecond
+	}
+	d := &Device{k: k, cfg: cfg}
+	for dir := 0; dir < 2; dir++ {
+		d.engines[dir] = NewEngine(cfg.SlackChars)
+		d.stats[dir] = NewPacketStats()
+		d.ports[dir] = &devicePort{dev: d, dir: Direction(dir)}
+	}
+	return d
+}
+
+// Name returns the device's label.
+func (d *Device) Name() string { return d.cfg.Name }
+
+// Engine returns the injection engine for one direction.
+func (d *Device) Engine(dir Direction) *Engine { return d.engines[dir] }
+
+// PacketStats returns the pass-through monitor for one direction.
+func (d *Device) PacketStats(dir Direction) *PacketStats { return d.stats[dir] }
+
+// Latency reports the fixed delay the device adds to each direction.
+func (d *Device) Latency() sim.Duration {
+	return sim.Duration(d.cfg.SlackChars)*d.cfg.CharPeriod + d.cfg.ExtraLatency
+}
+
+// Insert splices the device into a full-duplex cable: characters that used
+// to flow directly now pass through the injection engines, with the
+// device's pipeline latency added. The cable's left-to-right direction maps
+// to the LeftToRight engine.
+func (d *Device) Insert(cable *phy.Cable) {
+	if d.inserted {
+		panic(fmt.Sprintf("core: device %s already inserted", d.cfg.Name))
+	}
+	d.inserted = true
+	d.ports[LeftToRight].downstream = cable.LeftToRight.Dst()
+	cable.LeftToRight.SetDst(d.ports[LeftToRight])
+	d.ports[RightToLeft].downstream = cable.RightToLeft.Dst()
+	cable.RightToLeft.SetDst(d.ports[RightToLeft])
+}
+
+// InsertDirection splices the device into a single link direction only.
+func (d *Device) InsertDirection(dir Direction, link *phy.Link) {
+	p := d.ports[dir]
+	if p.downstream != nil {
+		panic(fmt.Sprintf("core: device %s direction %v already inserted", d.cfg.Name, dir))
+	}
+	p.downstream = link.Dst()
+	link.SetDst(p)
+}
+
+// Receive implements phy.Receiver for one direction.
+func (p *devicePort) Receive(chars []phy.Character) {
+	d := p.dev
+	eng := d.engines[p.dir]
+	period := d.cfg.CharPeriod
+	now := d.k.Now()
+	// Idle fill: if the wire was quiet before this burst started, the
+	// continuously clocked pipeline pushed idles through, releasing the
+	// held-back characters at line rate.
+	start := now - sim.Duration(len(chars))*period
+	if eng.Pending() > 0 && start > p.lastEnd {
+		if idle := int((start - p.lastEnd) / period); idle > 0 {
+			fill := make([]phy.Character, idle)
+			for i := range fill {
+				fill[i] = d.cfg.IdleChar
+				p.entries = append(p.entries, p.lastEnd+sim.Duration(i+1)*period)
+			}
+			p.deliver(eng.Process(fill))
+		}
+	}
+	if now > p.lastEnd {
+		p.lastEnd = now
+	}
+	d.stats[p.dir].Observe(chars)
+	for i := range chars {
+		p.entries = append(p.entries, start+sim.Duration(i+1)*period)
+	}
+	p.deliver(eng.Process(chars))
+	p.armFlush()
+}
+
+// deliver schedules released characters downstream at entry time plus the
+// pipeline latency. Runs of data characters batch into one delivery at the
+// run's end (receivers are rate-agnostic within a packet); control symbols
+// leave individually at their exact exit times so flow-control timing —
+// STOP refresh spacing against the remote short timeout — survives the
+// burst model.
+func (p *devicePort) deliver(out []phy.Character) {
+	if len(out) == 0 {
+		return
+	}
+	latency := p.dev.Latency()
+	now := p.dev.k.Now()
+	dst := p.downstream
+	emit := func(batch []phy.Character, entry sim.Time) {
+		at := entry + latency
+		if at < now {
+			at = now
+		}
+		p.dev.k.At(at, func() { dst.Receive(batch) })
+	}
+	i := 0
+	for i < len(out) {
+		if !out[i].IsData() {
+			emit(out[i:i+1], p.entries[i])
+			i++
+			continue
+		}
+		j := i
+		for j < len(out) && out[j].IsData() {
+			j++
+		}
+		emit(out[i:j], p.entries[j-1])
+		i = j
+	}
+	rest := p.entries[len(out):]
+	if len(rest) == 0 {
+		p.entries = p.entries[:0]
+	} else if len(p.entries) > 4*len(rest) && len(p.entries) > 256 {
+		// Compact so the backing array does not grow without bound
+		// under continuous traffic.
+		p.entries = append(p.entries[:0], rest...)
+	} else {
+		p.entries = rest
+	}
+}
+
+// armFlush schedules the pipeline drain that idle fill performs on real
+// hardware once the link goes quiet: if no new burst arrives within one
+// pipeline time, the held-back characters are released.
+func (p *devicePort) armFlush() {
+	if p.flushArmed {
+		p.dev.k.Cancel(p.flushEvent)
+	}
+	eng := p.dev.engines[p.dir]
+	if eng.Pending() == 0 {
+		p.flushArmed = false
+		return
+	}
+	p.flushArmed = true
+	p.flushEvent = p.dev.k.After(sim.Duration(p.dev.cfg.SlackChars)*p.dev.cfg.CharPeriod, func() {
+		p.flushArmed = false
+		p.deliver(eng.Flush())
+	})
+}
+
+var _ phy.Receiver = (*devicePort)(nil)

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netfi/internal/bitstream"
+	"netfi/internal/phy"
+)
+
+func dataChars(b []byte) []phy.Character { return phy.DataChars(b) }
+
+func runThrough(e *Engine, chars []phy.Character) []phy.Character {
+	out := e.Process(chars)
+	return append(out, e.Flush()...)
+}
+
+func bytesOf(chars []phy.Character) []byte {
+	var out []byte
+	for _, c := range chars {
+		if c.IsData() {
+			out = append(out, c.Byte())
+		}
+	}
+	return out
+}
+
+func TestEnginePassThroughIdentity(t *testing.T) {
+	// With the zero config the engine must be perfectly transparent.
+	prop := func(data []byte) bool {
+		e := NewEngine(DefaultSlackChars)
+		out := runThrough(e, dataChars(data))
+		if len(out) != len(data) {
+			return false
+		}
+		for i, c := range out {
+			if !c.IsData() || c.Byte() != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnginePreservesControlSymbols(t *testing.T) {
+	e := NewEngine(DefaultSlackChars)
+	in := []phy.Character{
+		phy.ControlChar(0x0C),
+		phy.DataChar(0x81),
+		phy.DataChar(0x04),
+		phy.ControlChar(0x0F),
+		phy.ControlChar(0x0C),
+	}
+	out := runThrough(e, in)
+	if len(out) != len(in) {
+		t.Fatalf("out %d chars, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("char %d = %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestEngineHoldsBackSlack(t *testing.T) {
+	e := NewEngine(8)
+	out := e.Process(dataChars(make([]byte, 20)))
+	if len(out) != 12 {
+		t.Errorf("released %d chars, want 12 (20 in - 8 slack)", len(out))
+	}
+	if e.Pending() != 8 {
+		t.Errorf("Pending() = %d, want 8", e.Pending())
+	}
+	rest := e.Flush()
+	if len(rest) != 8 {
+		t.Errorf("Flush released %d, want 8", len(rest))
+	}
+}
+
+func TestEngineReplaceExample(t *testing.T) {
+	// The paper's typical scenario (§3.3): match 0x1818 within the window
+	// and replace with 0x1918.
+	e := NewEngine(DefaultSlackChars)
+	e.Configure(Config{
+		Match: MatchOn,
+		CompareData: [WindowSize]phy.Character{
+			0, 0, phy.DataChar(0x18), phy.DataChar(0x18),
+		},
+		CompareMask: [WindowSize]CharMask{MaskNone, MaskNone, MaskFull, MaskFull},
+		Corrupt:     CorruptReplace,
+		CorruptData: [WindowSize]phy.Character{
+			0, 0, phy.DataChar(0x19), phy.DataChar(0x18),
+		},
+		CorruptMask: [WindowSize]CharMask{MaskNone, MaskNone, MaskFull, MaskFull},
+	})
+	in := []byte{0x00, 0x11, 0x18, 0x18, 0x22, 0x33}
+	got := bytesOf(runThrough(e, dataChars(in)))
+	want := []byte{0x00, 0x11, 0x19, 0x18, 0x22, 0x33}
+	if string(got) != string(want) {
+		t.Errorf("out = %x, want %x", got, want)
+	}
+	_, matches, inj := e.Stats()
+	if matches != 1 || inj != 1 {
+		t.Errorf("matches=%d injections=%d, want 1/1", matches, inj)
+	}
+}
+
+func TestEngineToggleMode(t *testing.T) {
+	e := NewEngine(DefaultSlackChars)
+	e.Configure(Config{
+		Match:       MatchOn,
+		CompareData: [WindowSize]phy.Character{0, 0, 0, phy.DataChar(0xA0)},
+		CompareMask: [WindowSize]CharMask{MaskNone, MaskNone, MaskNone, MaskFull},
+		Corrupt:     CorruptToggle,
+		CorruptData: [WindowSize]phy.Character{0, 0, 0, phy.Character(0x01)},
+	})
+	in := []byte{0xA0, 0xBB}
+	got := bytesOf(runThrough(e, dataChars(in)))
+	if got[0] != 0xA1 {
+		t.Errorf("toggled byte = %#02x, want 0xA1", got[0])
+	}
+	if got[1] != 0xBB {
+		t.Errorf("neighbour byte = %#02x, want untouched 0xBB", got[1])
+	}
+}
+
+func TestEngineToggleDCFlagTurnsControlIntoData(t *testing.T) {
+	// Toggling the D/C flag converts a control symbol into a data byte —
+	// a fault class only an in-path injector can produce.
+	e := NewEngine(DefaultSlackChars)
+	e.Configure(Config{
+		Match:       MatchOn,
+		CompareData: [WindowSize]phy.Character{0, 0, 0, phy.ControlChar(0x0F)},
+		CompareMask: [WindowSize]CharMask{MaskNone, MaskNone, MaskNone, MaskFull},
+		Corrupt:     CorruptToggle,
+		CorruptData: [WindowSize]phy.Character{0, 0, 0, phy.Character(0x100)},
+	})
+	in := []phy.Character{phy.ControlChar(0x0F)}
+	out := runThrough(e, in)
+	if !out[0].IsData() || out[0].Byte() != 0x0F {
+		t.Errorf("out = %v, want D:0f", out[0])
+	}
+}
+
+func TestEngineControlSymbolReplacement(t *testing.T) {
+	// The Table 4 campaign's core operation: STOP (0x0F) -> GO (0x03).
+	e := NewEngine(DefaultSlackChars)
+	e.Configure(Config{
+		Match:       MatchOn,
+		CompareData: [WindowSize]phy.Character{0, 0, 0, phy.ControlChar(0x0F)},
+		CompareMask: [WindowSize]CharMask{MaskNone, MaskNone, MaskNone, MaskFull},
+		Corrupt:     CorruptReplace,
+		CorruptData: [WindowSize]phy.Character{0, 0, 0, phy.ControlChar(0x03)},
+		CorruptMask: [WindowSize]CharMask{MaskNone, MaskNone, MaskNone, MaskFull},
+	})
+	in := []phy.Character{
+		phy.DataChar(0x0F), // data byte 0x0F must NOT match (D/C differs)
+		phy.ControlChar(0x0F),
+		phy.ControlChar(0x0C),
+	}
+	out := runThrough(e, in)
+	if !out[0].IsData() || out[0].Byte() != 0x0F {
+		t.Errorf("data byte 0x0F was corrupted: %v", out[0])
+	}
+	if out[1].IsData() || out[1].Byte() != 0x03 {
+		t.Errorf("STOP not replaced by GO: %v", out[1])
+	}
+	if out[2].IsData() || out[2].Byte() != 0x0C {
+		t.Errorf("GAP disturbed: %v", out[2])
+	}
+}
+
+func TestEngineOnceModeSingleInjection(t *testing.T) {
+	e := NewEngine(DefaultSlackChars)
+	cfg := Config{
+		Match:       MatchOnce,
+		CompareData: [WindowSize]phy.Character{0, 0, 0, phy.DataChar(0x55)},
+		CompareMask: [WindowSize]CharMask{MaskNone, MaskNone, MaskNone, MaskFull},
+		Corrupt:     CorruptToggle,
+		CorruptData: [WindowSize]phy.Character{0, 0, 0, phy.Character(0xFF)},
+	}
+	e.Configure(cfg)
+	in := []byte{0x55, 0x00, 0x55, 0x00, 0x55}
+	got := bytesOf(runThrough(e, dataChars(in)))
+	if got[0] != 0xAA {
+		t.Errorf("first match not injected: %#02x", got[0])
+	}
+	if got[2] != 0x55 || got[4] != 0x55 {
+		t.Errorf("subsequent matches injected in ONCE mode: % x", got)
+	}
+	_, matches, inj := e.Stats()
+	if matches != 3 || inj != 1 {
+		t.Errorf("matches=%d injections=%d, want 3/1", matches, inj)
+	}
+	// Re-arming repeats exactly one more.
+	e.SetMatchMode(MatchOnce)
+	got2 := bytesOf(runThrough(e, dataChars(in)))
+	if got2[0] != 0xAA || got2[2] != 0x55 {
+		t.Errorf("re-armed ONCE misbehaved: % x", got2)
+	}
+}
+
+func TestEngineMatchOffNeverInjects(t *testing.T) {
+	e := NewEngine(DefaultSlackChars)
+	e.Configure(Config{
+		Match:       MatchOff,
+		CompareData: [WindowSize]phy.Character{0, 0, 0, phy.DataChar(0x55)},
+		CompareMask: [WindowSize]CharMask{MaskNone, MaskNone, MaskNone, MaskFull},
+		Corrupt:     CorruptToggle,
+		CorruptData: [WindowSize]phy.Character{0, 0, 0, phy.Character(0xFF)},
+	})
+	got := bytesOf(runThrough(e, dataChars([]byte{0x55, 0x55})))
+	if got[0] != 0x55 || got[1] != 0x55 {
+		t.Errorf("OFF mode injected: % x", got)
+	}
+}
+
+func TestEngineInjectNow(t *testing.T) {
+	e := NewEngine(DefaultSlackChars)
+	e.Configure(Config{
+		Match:       MatchOff,
+		Corrupt:     CorruptToggle,
+		CorruptData: [WindowSize]phy.Character{0, 0, 0, phy.Character(0x80)},
+	})
+	// Prime the window, then request an injection: the next even cycle
+	// corrupts the newest window position.
+	_ = e.Process(dataChars([]byte{1, 2, 3, 4}))
+	e.InjectNow()
+	out := append(e.Process(dataChars([]byte{5})), e.Flush()...)
+	got := bytesOf(out)
+	// Characters 1..4 already pushed; injection lands on char 5.
+	want := []byte{1, 2, 3, 4, 0x85}
+	if string(got) != string(want) {
+		t.Errorf("out = %x, want %x", got, want)
+	}
+}
+
+func TestEngineMaskedMatchAnyDontCareBits(t *testing.T) {
+	// "By using the mask commands, we can specify any arbitrary number of
+	// bits between 0 and 32" (§3.3): match on the top nibble only.
+	e := NewEngine(DefaultSlackChars)
+	e.Configure(Config{
+		Match:       MatchOn,
+		CompareData: [WindowSize]phy.Character{0, 0, 0, phy.DataChar(0x40)},
+		CompareMask: [WindowSize]CharMask{MaskNone, MaskNone, MaskNone, 0x1F0},
+		Corrupt:     CorruptToggle,
+		CorruptData: [WindowSize]phy.Character{0, 0, 0, phy.Character(0x0F)},
+	})
+	in := []byte{0x41, 0x4F, 0x51}
+	got := bytesOf(runThrough(e, dataChars(in)))
+	if got[0] != 0x4E || got[1] != 0x40 {
+		t.Errorf("masked matches wrong: % x", got)
+	}
+	if got[2] != 0x51 {
+		t.Errorf("non-matching byte corrupted: %#02x", got[2])
+	}
+}
+
+func TestEngineCRCRecompute(t *testing.T) {
+	// Build a packet, corrupt one payload byte with CRC recompute on: the
+	// retransmitted packet must carry a VALID CRC over the corrupted
+	// contents (§3.2 real-time triggering mechanism).
+	body := []byte{0x00, 0x00, 0x00, 0x04, 0xDE, 0xAD, 0xBE, 0xEF}
+	wire := append(append([]byte{}, body...), bitstream.CRC8(body))
+	chars := dataChars(wire)
+	chars = append(chars, phy.ControlChar(0x0C)) // GAP
+
+	e := NewEngine(DefaultSlackChars)
+	e.Configure(Config{
+		Match:        MatchOn,
+		CompareData:  [WindowSize]phy.Character{0, 0, 0, phy.DataChar(0xAD)},
+		CompareMask:  [WindowSize]CharMask{MaskNone, MaskNone, MaskNone, MaskFull},
+		Corrupt:      CorruptReplace,
+		CorruptData:  [WindowSize]phy.Character{0, 0, 0, phy.DataChar(0x11)},
+		CorruptMask:  [WindowSize]CharMask{MaskNone, MaskNone, MaskNone, MaskFull},
+		RecomputeCRC: true,
+	})
+	out := bytesOf(runThrough(e, chars))
+	if len(out) != len(wire) {
+		t.Fatalf("out %d bytes, want %d", len(out), len(wire))
+	}
+	if out[5] != 0x11 {
+		t.Fatalf("payload byte not corrupted: %#02x", out[5])
+	}
+	gotBody, gotCRC := out[:len(out)-1], out[len(out)-1]
+	if bitstream.CRC8(gotBody) != gotCRC {
+		t.Errorf("retransmitted CRC invalid: crc=%#02x want %#02x", gotCRC, bitstream.CRC8(gotBody))
+	}
+	if gotCRC == wire[len(wire)-1] {
+		t.Error("CRC unchanged despite corrupted payload")
+	}
+}
+
+func TestEngineNoCRCRecomputeLeavesStaleCRC(t *testing.T) {
+	// Without recompute the corrupted packet keeps the stale CRC — the
+	// destination drops it (the §4.3.3 address-corruption outcome).
+	body := []byte{0x00, 0x00, 0x00, 0x04, 0xDE, 0xAD}
+	wire := append(append([]byte{}, body...), bitstream.CRC8(body))
+	chars := append(dataChars(wire), phy.ControlChar(0x0C))
+
+	e := NewEngine(DefaultSlackChars)
+	e.Configure(Config{
+		Match:       MatchOn,
+		CompareData: [WindowSize]phy.Character{0, 0, 0, phy.DataChar(0xDE)},
+		CompareMask: [WindowSize]CharMask{MaskNone, MaskNone, MaskNone, MaskFull},
+		Corrupt:     CorruptToggle,
+		CorruptData: [WindowSize]phy.Character{0, 0, 0, phy.Character(0xFF)},
+	})
+	out := bytesOf(runThrough(e, chars))
+	gotBody, gotCRC := out[:len(out)-1], out[len(out)-1]
+	if bitstream.CRC8(gotBody) == gotCRC {
+		t.Error("CRC still valid; expected a stale CRC after corruption")
+	}
+}
+
+func TestEngineCRCRecomputeOnlyTouchesCorruptedPackets(t *testing.T) {
+	// An uncorrupted packet passing a CRC-recompute-enabled engine must be
+	// bit-identical (no spurious substitution).
+	body := []byte{0x00, 0x00, 0x00, 0x04, 1, 2, 3}
+	wire := append(append([]byte{}, body...), bitstream.CRC8(body))
+	chars := append(dataChars(wire), phy.ControlChar(0x0C))
+	e := NewEngine(DefaultSlackChars)
+	e.Configure(Config{Match: MatchOff, RecomputeCRC: true})
+	out := bytesOf(runThrough(e, chars))
+	if string(out) != string(wire) {
+		t.Errorf("pass-through altered packet: %x vs %x", out, wire)
+	}
+}
+
+func TestEngineStatsCountChars(t *testing.T) {
+	e := NewEngine(DefaultSlackChars)
+	_ = runThrough(e, dataChars(make([]byte, 100)))
+	chars, _, _ := e.Stats()
+	if chars != 100 {
+		t.Errorf("chars = %d, want 100", chars)
+	}
+}
+
+func TestEngineSlackValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("slack below window size did not panic")
+		}
+	}()
+	NewEngine(2)
+}
+
+// Property: pass-through across many random mixed bursts preserves the
+// exact character sequence.
+func TestEngineBurstBoundaryTransparency(t *testing.T) {
+	prop := func(chunks [][]byte) bool {
+		e := NewEngine(DefaultSlackChars)
+		var want, got []byte
+		for _, chunk := range chunks {
+			want = append(want, chunk...)
+			got = append(got, bytesOf(e.Process(dataChars(chunk)))...)
+		}
+		got = append(got, bytesOf(e.Flush())...)
+		return string(got) == string(want)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a match split across burst boundaries still triggers (the
+// compare window persists between bursts).
+func TestEngineMatchAcrossBurstBoundary(t *testing.T) {
+	e := NewEngine(DefaultSlackChars)
+	e.Configure(Config{
+		Match: MatchOn,
+		CompareData: [WindowSize]phy.Character{
+			0, 0, phy.DataChar(0x18), phy.DataChar(0x18),
+		},
+		CompareMask: [WindowSize]CharMask{MaskNone, MaskNone, MaskFull, MaskFull},
+		Corrupt:     CorruptReplace,
+		CorruptData: [WindowSize]phy.Character{0, 0, phy.DataChar(0x19), 0},
+		CorruptMask: [WindowSize]CharMask{MaskNone, MaskNone, MaskFull, MaskNone},
+	})
+	var out []phy.Character
+	out = append(out, e.Process(dataChars([]byte{0xAA, 0x18}))...)
+	out = append(out, e.Process(dataChars([]byte{0x18, 0xBB}))...)
+	out = append(out, e.Flush()...)
+	got := bytesOf(out)
+	want := []byte{0xAA, 0x19, 0x18, 0xBB}
+	if string(got) != string(want) {
+		t.Errorf("out = %x, want %x", got, want)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"netfi/internal/phy"
+)
+
+// PacketStats implements the §3.2 statistics-gathering feature: the FPGA
+// has full access to the data path, so it can parse data-link packet
+// headers on the fly and increment counters per source/destination
+// identifier pair. This is the Myrinet-specific slice of the interface
+// logic: it understands the route-byte prefix, the 4-byte type field, and
+// the 48-bit addresses at the head of data payloads.
+//
+// The zero value is not usable; construct with NewPacketStats.
+type PacketStats struct {
+	// Stream reassembly.
+	inPacket bool
+	buf      []byte
+
+	packets        uint64
+	controlPackets uint64
+	pairs          map[pairKey]uint64
+}
+
+type pairKey struct {
+	src, dst [6]byte
+}
+
+// maxStatsHeader bounds header reassembly; payload beyond it is not needed
+// for identifier extraction.
+const maxStatsHeader = 64
+
+// NewPacketStats returns an empty monitor.
+func NewPacketStats() *PacketStats {
+	return &PacketStats{pairs: make(map[pairKey]uint64)}
+}
+
+// Observe feeds pass-through characters to the monitor.
+func (s *PacketStats) Observe(chars []phy.Character) {
+	for _, c := range chars {
+		if c.IsData() {
+			s.inPacket = true
+			if len(s.buf) < maxStatsHeader {
+				s.buf = append(s.buf, c.Byte())
+			}
+			continue
+		}
+		// GAP terminates a packet; other control symbols are ignored.
+		if c.Byte() == 0x0C && s.inPacket {
+			s.classify(s.buf)
+			s.buf = s.buf[:0]
+			s.inPacket = false
+		}
+	}
+}
+
+func (s *PacketStats) classify(raw []byte) {
+	s.packets++
+	// Skip switch-hop route bytes (MSB set), then the final route byte.
+	i := 0
+	for i < len(raw) && raw[i]&0x80 != 0 {
+		i++
+	}
+	i++ // final route byte
+	if i+4 > len(raw) {
+		return
+	}
+	typ := uint16(raw[i+2])<<8 | uint16(raw[i+3])
+	hi := uint16(raw[i])<<8 | uint16(raw[i+1])
+	i += 4
+	if hi != 0 || typ != 0x0004 {
+		s.controlPackets++
+		return
+	}
+	if i+12 > len(raw) {
+		return
+	}
+	var k pairKey
+	copy(k.dst[:], raw[i:i+6])
+	copy(k.src[:], raw[i+6:i+12])
+	s.pairs[k]++
+}
+
+// Packets reports total packets observed and how many were non-data
+// (control/mapping) packets.
+func (s *PacketStats) Packets() (total, control uint64) { return s.packets, s.controlPackets }
+
+// PairCount reports the packet count seen for a src → dst identifier pair.
+func (s *PacketStats) PairCount(src, dst [6]byte) uint64 {
+	return s.pairs[pairKey{src: src, dst: dst}]
+}
+
+// Report renders the per-pair counters, sorted for determinism.
+func (s *PacketStats) Report() []string {
+	keys := make([]pairKey, 0, len(s.pairs))
+	for k := range s.pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a := fmt.Sprintf("%x%x", keys[i].src, keys[i].dst)
+		b := fmt.Sprintf("%x%x", keys[j].src, keys[j].dst)
+		return a < b
+	})
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%x -> %x: %d", k.src, k.dst, s.pairs[k]))
+	}
+	return out
+}
+
+// Reset clears all counters.
+func (s *PacketStats) Reset() {
+	s.packets = 0
+	s.controlPackets = 0
+	s.pairs = make(map[pairKey]uint64)
+	s.buf = s.buf[:0]
+	s.inPacket = false
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netfi/internal/phy"
+	"netfi/internal/sim"
+)
+
+// Engine invariant: characters are conserved — for any configuration and
+// any input stream, exactly len(input) characters come out (Process +
+// Flush), in order by position; the injector can corrupt but never create
+// or destroy characters.
+func TestEngineCharacterConservationProperty(t *testing.T) {
+	prop := func(data []byte, cmpData [WindowSize]byte, cmpMask [WindowSize]byte,
+		corData [WindowSize]byte, toggle bool, matchOn bool) bool {
+		e := NewEngine(DefaultSlackChars)
+		cfg := Config{Corrupt: CorruptReplace}
+		if toggle {
+			cfg.Corrupt = CorruptToggle
+		}
+		if matchOn {
+			cfg.Match = MatchOn
+		}
+		for i := 0; i < WindowSize; i++ {
+			cfg.CompareData[i] = phy.DataChar(cmpData[i])
+			cfg.CompareMask[i] = CharMask(cmpMask[i])
+			cfg.CorruptData[i] = phy.DataChar(corData[i])
+			cfg.CorruptMask[i] = MaskData
+		}
+		e.Configure(cfg)
+		out := append(e.Process(phy.DataChars(data)), e.Flush()...)
+		return len(out) == len(data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Engine invariant: with the trigger off and no inject-now, the engine is
+// the identity function no matter what sits in the compare/corrupt
+// registers.
+func TestEngineIdentityWhenDisarmedProperty(t *testing.T) {
+	prop := func(data []byte, cmp, cor [WindowSize]byte) bool {
+		e := NewEngine(DefaultSlackChars)
+		cfg := Config{Match: MatchOff, Corrupt: CorruptToggle}
+		for i := 0; i < WindowSize; i++ {
+			cfg.CompareData[i] = phy.DataChar(cmp[i])
+			cfg.CompareMask[i] = MaskFull
+			cfg.CorruptData[i] = phy.Character(cor[i])
+		}
+		e.Configure(cfg)
+		out := append(e.Process(phy.DataChars(data)), e.Flush()...)
+		if len(out) != len(data) {
+			return false
+		}
+		for i, c := range out {
+			if !c.IsData() || c.Byte() != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Engine invariant: toggle corruption is confined to matched windows —
+// every differing output character lies within WindowSize characters of a
+// position where the compare pattern matched the input.
+func TestEngineCorruptionLocalityProperty(t *testing.T) {
+	prop := func(data []byte, pattern byte) bool {
+		e := NewEngine(DefaultSlackChars)
+		e.Configure(Config{
+			Match:       MatchOn,
+			CompareData: [WindowSize]phy.Character{0, 0, 0, phy.DataChar(pattern)},
+			CompareMask: [WindowSize]CharMask{0, 0, 0, MaskFull},
+			Corrupt:     CorruptToggle,
+			CorruptData: [WindowSize]phy.Character{0, 0, 0, 0x01},
+		})
+		out := append(e.Process(phy.DataChars(data)), e.Flush()...)
+		if len(out) != len(data) {
+			return false
+		}
+		for i, c := range out {
+			if c.Byte() == data[i] {
+				continue
+			}
+			// A differing byte must itself have been the match (the
+			// corrupt vector only touches the newest window slot).
+			if data[i] != pattern {
+				return false
+			}
+			if c.Byte() != pattern^0x01 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Device invariant: the splice is exactly-once and order-preserving for
+// arbitrary burst shapes.
+func TestDeviceOrderPreservationProperty(t *testing.T) {
+	prop := func(chunks [][]byte) bool {
+		k := newPropKernel()
+		_, cable, _, right := propSplice(k)
+		var want []byte
+		seq := byte(0)
+		for _, chunk := range chunks {
+			if len(chunk) == 0 {
+				continue
+			}
+			if len(chunk) > 200 {
+				chunk = chunk[:200]
+			}
+			stamped := make([]byte, len(chunk))
+			for i := range stamped {
+				stamped[i] = seq
+				seq++
+			}
+			want = append(want, stamped...)
+			cable.LeftToRight.Send(phy.DataChars(stamped))
+		}
+		k.Run()
+		if len(right.chars) != len(want) {
+			return false
+		}
+		for i, c := range right.chars {
+			if c.Byte() != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Helpers for the device property test.
+
+func newPropKernel() *sim.Kernel { return sim.NewKernel(1) }
+
+// propSplice builds a spliced cable with sinks, without a testing.T.
+func propSplice(k *sim.Kernel) (*Device, *phy.Cable, *sink, *sink) {
+	left := &sink{k: k}
+	right := &sink{k: k}
+	cfg := phy.LinkConfig{Name: "prop", CharPeriod: charPeriod, PropDelay: 5 * sim.Nanosecond}
+	cable := phy.NewCable(k, cfg, left, right)
+	dev := NewDevice(k, DeviceConfig{Name: "prop-inj"})
+	dev.Insert(cable)
+	return dev, cable, left, right
+}

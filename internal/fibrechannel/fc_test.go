@@ -1,0 +1,167 @@
+package fibrechannel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"netfi/internal/phy"
+	"netfi/internal/sim"
+)
+
+func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
+	prop := func(payload []byte, did, sid uint32, seq uint16) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		f := &Frame{
+			Header: Header{
+				RCtl: 0x06, DID: Address(did & 0xFFFFFF), SID: Address(sid & 0xFFFFFF),
+				Type: 0x08, SeqCnt: seq, OXID: 0x1234,
+			},
+			Payload: payload,
+		}
+		got, err := DecodeFrame(f.Encode())
+		return err == nil &&
+			got.Header == f.Header &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameCRCDetectsCorruption(t *testing.T) {
+	f := &Frame{Header: Header{DID: 1, SID: 2}, Payload: []byte("scsi data")}
+	raw := f.Encode()
+	raw[HeaderLen+2] ^= 0x40
+	if _, err := DecodeFrame(raw); !errors.Is(err, ErrBadCRC) {
+		t.Errorf("err = %v, want ErrBadCRC", err)
+	}
+}
+
+func TestFrameTooShort(t *testing.T) {
+	if _, err := DecodeFrame(make([]byte, 10)); !errors.Is(err, ErrFrameTooShort) {
+		t.Errorf("err = %v, want ErrFrameTooShort", err)
+	}
+}
+
+func newPair(t *testing.T, k *sim.Kernel) (*NPort, *NPort, *phy.Cable) {
+	t.Helper()
+	return Connect(k,
+		NPortConfig{Name: "A", Addr: 0x010101},
+		NPortConfig{Name: "B", Addr: 0x020202})
+}
+
+func TestNPortDeliversFrames(t *testing.T) {
+	k := sim.NewKernel(1)
+	a, b, _ := newPair(t, k)
+	var got []*Frame
+	b.SetFrameHandler(func(f *Frame) { got = append(got, f) })
+	a.Send(&Frame{
+		Header:  Header{DID: b.Addr(), SID: a.Addr(), Type: 0x08},
+		Payload: []byte("hello fibre channel"),
+	})
+	k.Run()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(got))
+	}
+	if string(got[0].Payload) != "hello fibre channel" {
+		t.Errorf("payload = %q", got[0].Payload)
+	}
+	if b.Stats().FramesReceived != 1 || b.Stats().CRCDrops != 0 {
+		t.Errorf("stats: %+v", b.Stats())
+	}
+}
+
+func TestNPortBBCreditLimitsInFlight(t *testing.T) {
+	k := sim.NewKernel(1)
+	a, b, _ := newPair(t, k)
+	b.SetFrameHandler(func(*Frame) {})
+	// Queue more frames than the credit allows; all must eventually
+	// arrive, paced by R_RDY returns.
+	const n = 20
+	for i := 0; i < n; i++ {
+		a.Send(&Frame{Header: Header{DID: b.Addr(), SID: a.Addr(), SeqCnt: uint16(i)}, Payload: make([]byte, 100)})
+	}
+	if a.Credits() != 0 {
+		t.Errorf("credits = %d immediately after burst, want 0", a.Credits())
+	}
+	k.Run()
+	if got := b.Stats().FramesReceived; got != n {
+		t.Errorf("received %d frames, want %d", got, n)
+	}
+	if a.Stats().RRdyReceived != n {
+		t.Errorf("R_RDYs = %d, want %d", a.Stats().RRdyReceived, n)
+	}
+	if a.Stats().CreditStallTime == 0 {
+		t.Error("no credit stall recorded despite overcommit")
+	}
+}
+
+func TestNPortMisdirectedFrameDropped(t *testing.T) {
+	k := sim.NewKernel(1)
+	a, b, _ := newPair(t, k)
+	delivered := false
+	b.SetFrameHandler(func(*Frame) { delivered = true })
+	a.Send(&Frame{Header: Header{DID: 0xBADBAD, SID: a.Addr()}})
+	k.Run()
+	if delivered {
+		t.Error("misdirected frame delivered")
+	}
+	if b.Stats().FramesReceived != 0 {
+		t.Error("misdirected frame counted as received")
+	}
+}
+
+func TestNPortCorruptedCodeGroupDropsFrame(t *testing.T) {
+	// Corrupt one 10-bit code group in flight: the decoder must flag it
+	// and the frame must not be delivered.
+	k := sim.NewKernel(1)
+	a, b, cable := newPair(t, k)
+	delivered := 0
+	b.SetFrameHandler(func(*Frame) { delivered++ })
+	// Splice a corruptor onto the wire: flip a bit in the 10th code
+	// group of the first burst.
+	orig := cable.LeftToRight.Dst()
+	first := true
+	cable.LeftToRight.SetDst(phy.ReceiverFunc(func(chars []phy.Character) {
+		if first && len(chars) > 10 {
+			chars[10] ^= 0x001
+			first = false
+		}
+		orig.Receive(chars)
+	}))
+	a.Send(&Frame{Header: Header{DID: b.Addr(), SID: a.Addr()}, Payload: []byte("doomed")})
+	a.Send(&Frame{Header: Header{DID: b.Addr(), SID: a.Addr()}, Payload: []byte("fine")})
+	k.Run()
+	if delivered != 1 {
+		t.Errorf("delivered = %d, want 1 (first corrupted, second clean)", delivered)
+	}
+	st := b.Stats()
+	if st.CodeViolations+st.DisparityErrors+st.CRCDrops == 0 {
+		t.Errorf("corruption not detected: %+v", st)
+	}
+}
+
+func TestOrderedSetClassification(t *testing.T) {
+	for _, os := range []OrderedSet{OSIdle, OSRRdy, OSSOF, OSEOF} {
+		b := orderedSetBytes(os)
+		if got := classifySet(b[1]); got != os {
+			t.Errorf("classifySet(%v) = %v", os, got)
+		}
+	}
+	if classifySet(0x00) != OSUnknown {
+		t.Error("bogus set byte classified")
+	}
+	if OSRRdy.String() != "R_RDY" || OSUnknown.String() != "UNKNOWN" {
+		t.Error("ordered-set mnemonics wrong")
+	}
+}
+
+func TestAddressString(t *testing.T) {
+	if got := Address(0x010203).String(); got != "1.2.3" {
+		t.Errorf("String() = %q", got)
+	}
+}

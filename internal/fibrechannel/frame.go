@@ -1,0 +1,105 @@
+// Package fibrechannel implements the board's second medium (the paper's
+// PCB carries both a MyriPHY and an FCPHY): a point-to-point Fibre Channel
+// link at the FC-PH level — 8b/10b code groups on the wire, ordered sets
+// (IDLE, R_RDY, SOF, EOF) built on K28.5, frames with a 24-byte header and
+// CRC-32, and buffer-to-buffer credit flow control. The fault injector
+// splices into the code-group stream exactly as it does on Myrinet,
+// demonstrating that only the interface logic is medium-specific.
+package fibrechannel
+
+import (
+	"errors"
+	"fmt"
+
+	"netfi/internal/bitstream"
+)
+
+// HeaderLen is the FC-PH frame header size.
+const HeaderLen = 24
+
+// MaxPayload bounds the data field (FC-PH allows 2112).
+const MaxPayload = 2112
+
+// Address is a 24-bit N_Port identifier.
+type Address uint32
+
+// String formats the address as x.y.z.
+func (a Address) String() string {
+	return fmt.Sprintf("%d.%d.%d", byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Header is the FC-PH frame header.
+type Header struct {
+	RCtl   byte
+	DID    Address // destination N_Port
+	CSCtl  byte
+	SID    Address // source N_Port
+	Type   byte
+	FCtl   uint32 // 24 bits
+	SeqID  byte
+	DFCtl  byte
+	SeqCnt uint16
+	OXID   uint16
+	RXID   uint16
+	Params uint32
+}
+
+// Frame is one FC frame between SOF and EOF.
+type Frame struct {
+	Header  Header
+	Payload []byte
+}
+
+// Encode serializes header+payload and appends CRC-32 (no SOF/EOF; those
+// are ordered sets added by the port).
+func (f *Frame) Encode() []byte {
+	h := f.Header
+	out := make([]byte, 0, HeaderLen+len(f.Payload)+4)
+	out = append(out,
+		h.RCtl, byte(h.DID>>16), byte(h.DID>>8), byte(h.DID),
+		h.CSCtl, byte(h.SID>>16), byte(h.SID>>8), byte(h.SID),
+		h.Type, byte(h.FCtl>>16), byte(h.FCtl>>8), byte(h.FCtl),
+		h.SeqID, h.DFCtl, byte(h.SeqCnt>>8), byte(h.SeqCnt),
+		byte(h.OXID>>8), byte(h.OXID), byte(h.RXID>>8), byte(h.RXID),
+		byte(h.Params>>24), byte(h.Params>>16), byte(h.Params>>8), byte(h.Params),
+	)
+	out = append(out, f.Payload...)
+	crc := bitstream.CRC32(out)
+	return append(out, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+}
+
+// Decode errors.
+var (
+	ErrFrameTooShort = errors.New("fibrechannel: frame shorter than header+CRC")
+	ErrBadCRC        = errors.New("fibrechannel: CRC-32 mismatch")
+)
+
+// DecodeFrame parses bytes between SOF and EOF, verifying CRC-32.
+func DecodeFrame(raw []byte) (*Frame, error) {
+	if len(raw) < HeaderLen+4 {
+		return nil, ErrFrameTooShort
+	}
+	body, crcBytes := raw[:len(raw)-4], raw[len(raw)-4:]
+	want := uint32(crcBytes[0])<<24 | uint32(crcBytes[1])<<16 | uint32(crcBytes[2])<<8 | uint32(crcBytes[3])
+	f := &Frame{
+		Header: Header{
+			RCtl:   body[0],
+			DID:    Address(body[1])<<16 | Address(body[2])<<8 | Address(body[3]),
+			CSCtl:  body[4],
+			SID:    Address(body[5])<<16 | Address(body[6])<<8 | Address(body[7]),
+			Type:   body[8],
+			FCtl:   uint32(body[9])<<16 | uint32(body[10])<<8 | uint32(body[11]),
+			SeqID:  body[12],
+			DFCtl:  body[13],
+			SeqCnt: uint16(body[14])<<8 | uint16(body[15]),
+			OXID:   uint16(body[16])<<8 | uint16(body[17]),
+			RXID:   uint16(body[18])<<8 | uint16(body[19]),
+			Params: uint32(body[20])<<24 | uint32(body[21])<<16 | uint32(body[22])<<8 | uint32(body[23]),
+		},
+		Payload: append([]byte(nil), body[HeaderLen:]...),
+	}
+	if bitstream.CRC32(body) != want {
+		return f, ErrBadCRC
+	}
+	return f, nil
+}

@@ -1,0 +1,35 @@
+package fibrechannel
+
+import (
+	"netfi/internal/phy"
+	"netfi/internal/sim"
+)
+
+// CodeGroupPeriod is the serialization time of one 10-bit code group at
+// the FC-PH gigabit rate (1.0625 Gbaud): about 9.4 ns.
+const CodeGroupPeriod = 9_412 * sim.Picosecond
+
+// DefaultLinkConfig returns FC link timing with a one-meter cable.
+func DefaultLinkConfig(name string) phy.LinkConfig {
+	return phy.LinkConfig{
+		Name:       name,
+		CharPeriod: CodeGroupPeriod,
+		PropDelay:  5 * sim.Nanosecond,
+	}
+}
+
+// Connect builds a full-duplex FC link between two new N_Ports and returns
+// them plus the cable (into which a fault injector can be spliced).
+func Connect(k *sim.Kernel, a, b NPortConfig) (*NPort, *NPort, *phy.Cable) {
+	linkAB := phy.NewLink(k, DefaultLinkConfig(a.Name+"->"+b.Name), discard{})
+	linkBA := phy.NewLink(k, DefaultLinkConfig(b.Name+"->"+a.Name), discard{})
+	pa := NewNPort(k, a, linkAB)
+	pb := NewNPort(k, b, linkBA)
+	linkAB.SetDst(pb)
+	linkBA.SetDst(pa)
+	return pa, pb, &phy.Cable{LeftToRight: linkAB, RightToLeft: linkBA}
+}
+
+type discard struct{}
+
+func (discard) Receive([]phy.Character) {}

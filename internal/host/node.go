@@ -1,0 +1,289 @@
+// Package host models the workstations of the paper's test bed (Fig. 10):
+// a UDP/IP-era stack on slow CPUs (200 MHz Pentium Pro, 170 MHz
+// UltraSPARC). Each Node couples a Myrinet interface with per-packet
+// send/receive processing overheads, a bounded socket buffer that drops on
+// overflow, a real 16-bit one's-complement UDP checksum (§4.3.4 depends on
+// its arithmetic), and an interrupt-granularity timing model: receive
+// completions are visible to applications only at timer-tick boundaries
+// whose phase differs per run — the source of Table 2's measurement
+// uncertainty ("the actual latency interval is getting lost in the
+// granularity caused by the computer's interrupt handler").
+package host
+
+import (
+	"fmt"
+
+	"netfi/internal/bitstream"
+	"netfi/internal/myrinet"
+	"netfi/internal/sim"
+)
+
+// NodeConfig parameterizes a workstation.
+type NodeConfig struct {
+	// Name labels the node.
+	Name string
+	// MAC and ID identify the node's Myrinet interface.
+	MAC myrinet.MAC
+	ID  myrinet.NodeID
+	// SendOverhead is the per-packet CPU cost from the application's
+	// send call to the NIC enqueue. Zero selects 100 us (mid-90s UDP
+	// stack on a Pentium Pro).
+	SendOverhead sim.Duration
+	// RecvOverhead is the per-packet CPU cost from NIC delivery to the
+	// application handler. Zero selects 130 us.
+	RecvOverhead sim.Duration
+	// InterruptTick quantizes receive completion times: the application
+	// observes arrival only at the next tick boundary. Zero selects 1 us.
+	InterruptTick sim.Duration
+	// OverheadJitter adds uniform per-packet noise to the send and
+	// receive overheads (cache effects, other interrupts); it lets the
+	// quantized per-run averages drift the way real hosts do. Zero means
+	// deterministic overheads.
+	OverheadJitter sim.Duration
+	// TickPhase offsets the tick grid; runs with different phases
+	// measure differently, which is exactly Table 2's uncertainty.
+	TickPhase sim.Duration
+	// SocketBuffer bounds queued-but-undelivered packets per node; the
+	// classic UDP drop-on-overflow. Zero selects 64.
+	SocketBuffer int
+	// TxQueueLimit bounds the NIC transmit queue in packets (zero means
+	// unbounded); see myrinet.InterfaceConfig.
+	TxQueueLimit int
+	// Mapping configures the interface's MCP.
+	Mapping myrinet.MappingConfig
+}
+
+func (c *NodeConfig) fillDefaults() {
+	if c.SendOverhead == 0 {
+		c.SendOverhead = 100 * sim.Microsecond
+	}
+	if c.RecvOverhead == 0 {
+		c.RecvOverhead = 130 * sim.Microsecond
+	}
+	if c.InterruptTick == 0 {
+		c.InterruptTick = sim.Microsecond
+	}
+	if c.SocketBuffer == 0 {
+		c.SocketBuffer = 64
+	}
+}
+
+// Stats counts host-stack events.
+type Stats struct {
+	UDPSent        uint64
+	UDPReceived    uint64
+	ChecksumDrops  uint64
+	NoSocketDrops  uint64
+	OverflowDrops  uint64
+	MalformedDrops uint64
+	NoRouteErrors  uint64
+}
+
+// Node is one workstation: a Myrinet interface plus the host stack.
+//
+// The zero value is not usable; construct with NewNode.
+type Node struct {
+	k   *sim.Kernel
+	cfg NodeConfig
+	ifc *myrinet.Interface
+
+	sockets map[uint16]*Socket
+	stats   Stats
+
+	// Receive processor: one packet at a time, RecvOverhead each.
+	recvq    []queuedPacket
+	recvBusy bool
+
+	// Send serialization: the CPU injects packets one SendOverhead apart.
+	sendReadyAt sim.Time
+}
+
+type queuedPacket struct {
+	src     myrinet.MAC
+	srcPort uint16
+	dstPort uint16
+	data    []byte
+}
+
+// NewNode builds a workstation around a new Myrinet interface.
+func NewNode(k *sim.Kernel, cfg NodeConfig) *Node {
+	cfg.fillDefaults()
+	n := &Node{
+		k:       k,
+		cfg:     cfg,
+		sockets: make(map[uint16]*Socket),
+	}
+	n.ifc = myrinet.NewInterface(k, myrinet.InterfaceConfig{
+		Name:         cfg.Name,
+		MAC:          cfg.MAC,
+		ID:           cfg.ID,
+		Mapping:      cfg.Mapping,
+		TxQueueLimit: cfg.TxQueueLimit,
+	})
+	n.ifc.SetDataHandler(n.onDatagram)
+	return n
+}
+
+// Name returns the node's label.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Interface exposes the node's Myrinet interface.
+func (n *Node) Interface() *myrinet.Interface { return n.ifc }
+
+// MAC returns the node's address.
+func (n *Node) MAC() myrinet.MAC { return n.cfg.MAC }
+
+// Stats returns a copy of the host-stack counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Socket is a bound UDP port.
+type Socket struct {
+	node    *Node
+	port    uint16
+	handler func(src myrinet.MAC, srcPort uint16, data []byte)
+
+	received uint64
+}
+
+// Received reports datagrams delivered to this socket's handler.
+func (s *Socket) Received() uint64 { return s.received }
+
+// Port returns the bound port.
+func (s *Socket) Port() uint16 { return s.port }
+
+// Bind opens a UDP socket on port; handler runs after the receive path's
+// processing overhead. Binding an in-use port is an error.
+func (n *Node) Bind(port uint16, handler func(src myrinet.MAC, srcPort uint16, data []byte)) (*Socket, error) {
+	if _, ok := n.sockets[port]; ok {
+		return nil, fmt.Errorf("host: %s port %d already bound", n.cfg.Name, port)
+	}
+	s := &Socket{node: n, port: port, handler: handler}
+	n.sockets[port] = s
+	return s, nil
+}
+
+// Close releases the socket's port.
+func (s *Socket) Close() { delete(s.node.sockets, s.port) }
+
+// udpHeaderLen is srcPort(2) + dstPort(2) + length(2) + checksum(2).
+const udpHeaderLen = 8
+
+// EncodeUDP builds the datagram: header with a one's-complement checksum
+// over header (checksum field zero) plus data.
+func EncodeUDP(srcPort, dstPort uint16, data []byte) []byte {
+	dgram := make([]byte, udpHeaderLen+len(data))
+	putU16(dgram[0:], srcPort)
+	putU16(dgram[2:], dstPort)
+	putU16(dgram[4:], uint16(udpHeaderLen+len(data)))
+	copy(dgram[udpHeaderLen:], data)
+	putU16(dgram[6:], bitstream.Checksum16(dgram))
+	return dgram
+}
+
+// DecodeUDP parses and checksums a datagram.
+func DecodeUDP(dgram []byte) (srcPort, dstPort uint16, data []byte, err error) {
+	if len(dgram) < udpHeaderLen {
+		return 0, 0, nil, fmt.Errorf("host: datagram too short (%d bytes)", len(dgram))
+	}
+	if u16(dgram[4:]) != uint16(len(dgram)) {
+		return 0, 0, nil, fmt.Errorf("host: datagram length field %d != %d", u16(dgram[4:]), len(dgram))
+	}
+	if !bitstream.VerifyChecksum16(dgram) {
+		return 0, 0, nil, errChecksum
+	}
+	return u16(dgram[0:]), u16(dgram[2:]), dgram[udpHeaderLen:], nil
+}
+
+var errChecksum = fmt.Errorf("host: UDP checksum mismatch")
+
+func putU16(b []byte, v uint16) { b[0] = byte(v >> 8); b[1] = byte(v) }
+func u16(b []byte) uint16       { return uint16(b[0])<<8 | uint16(b[1]) }
+
+// jitter returns a uniform random duration in [0, OverheadJitter).
+func (n *Node) jitter() sim.Duration {
+	if n.cfg.OverheadJitter <= 0 {
+		return 0
+	}
+	return sim.Duration(n.k.Rand().Int63n(int64(n.cfg.OverheadJitter)))
+}
+
+// SendUDP queues a datagram to dst. The CPU serializes sends one
+// SendOverhead apart; the NIC transmits when the packet reaches it.
+func (n *Node) SendUDP(dst myrinet.MAC, srcPort, dstPort uint16, data []byte) {
+	dgram := EncodeUDP(srcPort, dstPort, data)
+	at := n.k.Now() + n.cfg.SendOverhead + n.jitter()
+	if n.sendReadyAt > n.k.Now() {
+		at = n.sendReadyAt + n.cfg.SendOverhead + n.jitter()
+	}
+	n.sendReadyAt = at
+	n.k.At(at, func() {
+		if err := n.ifc.Send(dst, dgram); err != nil {
+			n.stats.NoRouteErrors++
+			return
+		}
+		n.stats.UDPSent++
+	})
+}
+
+// onDatagram is the NIC delivery path: checksum and demultiplex at
+// interrupt level, then queue for process-level delivery.
+func (n *Node) onDatagram(src myrinet.MAC, payload []byte) {
+	srcPort, dstPort, data, err := DecodeUDP(payload)
+	if err != nil {
+		if err == errChecksum {
+			// "When the corruption did not satisfy the checksum, the
+			// packets were dropped" (§4.3.4).
+			n.stats.ChecksumDrops++
+			n.ifc.Counters().Drop(myrinet.DropChecksum)
+		} else {
+			n.stats.MalformedDrops++
+		}
+		return
+	}
+	if _, ok := n.sockets[dstPort]; !ok {
+		n.stats.NoSocketDrops++
+		return
+	}
+	if len(n.recvq) >= n.cfg.SocketBuffer {
+		n.stats.OverflowDrops++
+		return
+	}
+	n.recvq = append(n.recvq, queuedPacket{src: src, srcPort: srcPort, dstPort: dstPort, data: data})
+	n.pumpRecv()
+}
+
+// pumpRecv drains the receive queue one packet per RecvOverhead, delivering
+// at interrupt-tick boundaries.
+func (n *Node) pumpRecv() {
+	if n.recvBusy || len(n.recvq) == 0 {
+		return
+	}
+	n.recvBusy = true
+	p := n.recvq[0]
+	n.recvq = n.recvq[1:]
+	done := n.quantize(n.k.Now() + n.cfg.RecvOverhead + n.jitter())
+	n.k.At(done, func() {
+		n.recvBusy = false
+		if s, ok := n.sockets[p.dstPort]; ok {
+			n.stats.UDPReceived++
+			s.received++
+			if s.handler != nil {
+				s.handler(p.src, p.srcPort, p.data)
+			}
+		} else {
+			n.stats.NoSocketDrops++
+		}
+		n.pumpRecv()
+	})
+}
+
+// quantize rounds t up to the node's next interrupt-tick boundary.
+func (n *Node) quantize(t sim.Time) sim.Time {
+	tick := n.cfg.InterruptTick
+	if tick <= 1 {
+		return t
+	}
+	rel := t - n.cfg.TickPhase
+	q := (rel + tick - 1) / tick * tick
+	return q + n.cfg.TickPhase
+}

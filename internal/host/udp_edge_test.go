@@ -1,0 +1,27 @@
+package host
+
+import "testing"
+
+func TestDecodeUDPLengthMismatch(t *testing.T) {
+	// A merged datagram (extra bytes after a valid UDP packet — the
+	// aftermath of a lost GAP) must be rejected by the length field even
+	// before the checksum gets a say.
+	dgram := EncodeUDP(1, 2, []byte("one"))
+	merged := append(dgram, []byte("swallowed tail")...)
+	if _, _, _, err := DecodeUDP(merged); err == nil {
+		t.Error("length-mismatched datagram accepted")
+	}
+}
+
+func TestDecodeUDPTooShort(t *testing.T) {
+	if _, _, _, err := DecodeUDP([]byte{1, 2, 3}); err == nil {
+		t.Error("short datagram accepted")
+	}
+}
+
+func TestDecodeUDPEmptyPayload(t *testing.T) {
+	s, d, data, err := DecodeUDP(EncodeUDP(7, 9, nil))
+	if err != nil || s != 7 || d != 9 || len(data) != 0 {
+		t.Errorf("empty payload round trip: %d %d %q %v", s, d, data, err)
+	}
+}

@@ -1,0 +1,147 @@
+package myrinet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DropReason classifies why a packet (or character train) was discarded.
+// The campaign's outcome analysis (§4.4) depends on these distinctions: all
+// observed faults were "passive" — data dropped, never incorrectly passed on
+// — and the reason codes show which mechanism did the dropping.
+type DropReason int
+
+// Drop reasons. Start at 1 so the zero value is invalid.
+const (
+	// DropCRC: trailing CRC-8 mismatch at a destination interface.
+	DropCRC DropReason = iota + 1
+	// DropMisaddressed: destination MAC does not match the interface.
+	DropMisaddressed
+	// DropRouteMSB: leading route byte reached an interface with the MSB
+	// set; the spec requires the packet be "consumed and handled as an
+	// error".
+	DropRouteMSB
+	// DropBadPort: a switch route byte selected a port with no device or
+	// an out-of-range port.
+	DropBadPort
+	// DropSwitchMSB: a switch saw a leading route byte with the MSB
+	// clear (the packet expected to be at its destination already).
+	DropSwitchMSB
+	// DropUnknownType: packet type not recognized by the interface.
+	DropUnknownType
+	// DropOverflow: slack-buffer overflow destroyed characters.
+	DropOverflow
+	// DropTruncated: packet malformed or shorter than the minimum frame.
+	DropTruncated
+	// DropTerminated: the sending host's long-period timeout terminated
+	// the packet and consumed its unsent remainder.
+	DropTerminated
+	// DropChecksum: UDP one's-complement checksum failure in the host
+	// stack.
+	DropChecksum
+	// DropOversize: a packet exceeded the interface's maximum frame
+	// size before its terminating GAP arrived — the signature of a lost
+	// GAP merging consecutive packets into one unbounded stream.
+	DropOversize
+	// DropNoRoute: the sending host had no routing-table entry for the
+	// destination (the node was dropped from the network map).
+	DropNoRoute
+	// DropTxQueue: the interface's bounded transmit queue was full — the
+	// sender was stalled (STOP, blocked path) long enough for the host
+	// to outrun its NIC.
+	DropTxQueue
+)
+
+var dropNames = map[DropReason]string{
+	DropCRC:          "crc",
+	DropMisaddressed: "misaddressed",
+	DropRouteMSB:     "route-msb",
+	DropBadPort:      "bad-port",
+	DropSwitchMSB:    "switch-msb",
+	DropUnknownType:  "unknown-type",
+	DropOverflow:     "overflow",
+	DropTruncated:    "truncated",
+	DropTerminated:   "terminated",
+	DropChecksum:     "checksum",
+	DropOversize:     "oversize",
+	DropNoRoute:      "no-route",
+	DropTxQueue:      "tx-queue",
+}
+
+// String returns the reason mnemonic.
+func (r DropReason) String() string {
+	if s, ok := dropNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("drop(%d)", int(r))
+}
+
+// Counters accumulates per-entity statistics. The fault injector's own
+// statistics-gathering feature (§3.2) and the mmon monitor both read these.
+type Counters struct {
+	PacketsSent      uint64
+	PacketsReceived  uint64
+	PacketsForwarded uint64
+	CharsIn          uint64
+	CharsOut         uint64
+	Drops            map[DropReason]uint64
+	StopsSent        uint64
+	GosSent          uint64
+	StopsReceived    uint64
+	GosReceived      uint64
+	ShortTimeouts    uint64
+	LongTimeouts     uint64
+	OverflowChars    uint64
+}
+
+// NewCounters returns zeroed counters.
+func NewCounters() *Counters {
+	return &Counters{Drops: make(map[DropReason]uint64)}
+}
+
+// Drop records one dropped packet for the given reason.
+func (c *Counters) Drop(r DropReason) { c.Drops[r]++ }
+
+// TotalDrops sums packet drops across all reasons.
+func (c *Counters) TotalDrops() uint64 {
+	var n uint64
+	for _, v := range c.Drops {
+		n += v
+	}
+	return n
+}
+
+// String renders the counters compactly for traces and the mmon tool.
+func (c *Counters) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sent=%d recv=%d fwd=%d", c.PacketsSent, c.PacketsReceived, c.PacketsForwarded)
+	if c.StopsSent+c.GosSent > 0 {
+		fmt.Fprintf(&b, " stop/go-tx=%d/%d", c.StopsSent, c.GosSent)
+	}
+	if c.StopsReceived+c.GosReceived > 0 {
+		fmt.Fprintf(&b, " stop/go-rx=%d/%d", c.StopsReceived, c.GosReceived)
+	}
+	if c.ShortTimeouts > 0 {
+		fmt.Fprintf(&b, " short-to=%d", c.ShortTimeouts)
+	}
+	if c.LongTimeouts > 0 {
+		fmt.Fprintf(&b, " long-to=%d", c.LongTimeouts)
+	}
+	if len(c.Drops) > 0 {
+		reasons := make([]DropReason, 0, len(c.Drops))
+		for r := range c.Drops {
+			reasons = append(reasons, r)
+		}
+		sort.Slice(reasons, func(i, j int) bool { return reasons[i] < reasons[j] })
+		b.WriteString(" drops[")
+		for i, r := range reasons {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%v=%d", r, c.Drops[r])
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}

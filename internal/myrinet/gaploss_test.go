@@ -1,0 +1,159 @@
+package myrinet
+
+import (
+	"strings"
+	"testing"
+
+	"netfi/internal/phy"
+	"netfi/internal/sim"
+)
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+// gapKiller is a wire tap that deletes the first n packet-terminating GAPs
+// it sees, reproducing the §4.3.1 "GAP symbol not transmitted or lost in
+// transmission" fault at the link level.
+type gapKiller struct {
+	dst    phy.Receiver
+	remain int
+	killed int
+}
+
+func (g *gapKiller) Receive(chars []phy.Character) {
+	out := make([]phy.Character, 0, len(chars))
+	for _, c := range chars {
+		if g.remain > 0 && !c.IsData() && DecodeControl(c.Byte()) == SymbolGap {
+			g.remain--
+			g.killed++
+			continue
+		}
+		out = append(out, c)
+	}
+	if len(out) > 0 {
+		g.dst.Receive(out)
+	}
+}
+
+func TestLostGapMergesPacketsUntilNextGap(t *testing.T) {
+	// Two packets with the first GAP deleted arrive as one merged train,
+	// resynchronizing at the surviving GAP — "misinterpretation of
+	// packet tails and headers". A notable protocol reality this test
+	// pins down: the merged train PASSES the Myrinet CRC-8, because a
+	// zero-init CRC over [P1, crc(P1), P2] self-cancels across the first
+	// packet and ends at crc(P2) — so the link layer cannot detect
+	// merges at all. The end-to-end UDP length/checksum is what actually
+	// rejects them in the full stack (the campaign's MalformedDrops),
+	// which is why the paper's GAP faults stay passive.
+	k := sim.NewKernel(1)
+	a, b := directPair(t, k)
+	link := a.ifc.Controller().Out()
+	killer := &gapKiller{dst: link.Dst(), remain: 1}
+	link.SetDst(killer)
+
+	if err := a.ifc.Send(b.ifc.MAC(), []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ifc.Send(b.ifc.MAC(), []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ifc.Send(b.ifc.MAC(), []byte("third")); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if killer.killed != 1 {
+		t.Fatalf("killed %d GAPs, want 1", killer.killed)
+	}
+	if len(b.received) != 2 {
+		t.Fatalf("received %d trains, want 2 (merged + third)", len(b.received))
+	}
+	merged := string(b.received[0])
+	if !contains(merged, "first") || !contains(merged, "second") {
+		t.Errorf("merged train %q does not contain both packets", merged)
+	}
+	if got := string(b.received[1]); got != "third" {
+		t.Errorf("post-resync packet = %q, want third", got)
+	}
+}
+
+func TestLostGapAtSwitchHoldsPathUntilNextGap(t *testing.T) {
+	// A lost GAP on the host->switch segment leaves the switch's
+	// forwarding path held: the next packet's bytes continue down the
+	// OLD path even if routed elsewhere, and only its GAP releases the
+	// output. Cross-traffic resumes afterwards.
+	k := sim.NewKernel(1)
+	_, hosts, _ := threeNodeNet(t, k, false)
+	link := hosts[0].ifc.Controller().Out()
+	killer := &gapKiller{dst: link.Dst(), remain: 1}
+	link.SetDst(killer)
+
+	// Packet 1 to node1 loses its GAP; packet 2 addressed to node2 gets
+	// swallowed into the held path toward node1.
+	if err := hosts[0].ifc.Send(hosts[1].ifc.MAC(), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := hosts[0].ifc.Send(hosts[2].ifc.MAC(), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if len(hosts[2].received) != 0 {
+		t.Error("packet two escaped the held path")
+	}
+	// The merged train rides packet one's path into node1. At the
+	// Myrinet level it can even pass the CRC-8 (a message followed by
+	// its own CRC self-cancels in a zero-init CRC — true of the real
+	// hardware too); the merge is caught at the UDP layer in the full
+	// stack (length/checksum), which is why the paper's faults stay
+	// passive. Here, at the raw interface level, we assert the swallow
+	// itself: packet two's bytes are inside whatever node1 saw.
+	if len(hosts[1].received) == 1 {
+		merged := string(hosts[1].received[0])
+		if !contains(merged, "two") {
+			t.Errorf("merged train does not contain the swallowed packet: %q", merged)
+		}
+	}
+	// The path released with packet two's GAP: traffic flows again.
+	if err := hosts[0].ifc.Send(hosts[1].ifc.MAC(), []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := hosts[0].ifc.Send(hosts[2].ifc.MAC(), []byte("after2")); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	last := ""
+	if n := len(hosts[1].received); n > 0 {
+		last = string(hosts[1].received[n-1])
+	}
+	if last != "after" {
+		t.Errorf("node1 did not recover: %q", hosts[1].received)
+	}
+	if len(hosts[2].received) != 1 || string(hosts[2].received[0]) != "after2" {
+		t.Errorf("node2 did not recover: %q", hosts[2].received)
+	}
+}
+
+func TestSpuriousGapSplitsPacket(t *testing.T) {
+	// The reverse fault (STOP->GAP style): a GAP inserted mid-packet
+	// splits it into two trains, both of which fail at the receiver.
+	k := sim.NewKernel(1)
+	a, b := directPair(t, k)
+	link := a.ifc.Controller().Out()
+	orig := link.Dst()
+	inserted := false
+	link.SetDst(phy.ReceiverFunc(func(chars []phy.Character) {
+		if !inserted && len(chars) > 4 {
+			chars = append(chars[:4:4], append([]phy.Character{GapChar()}, chars[4:]...)...)
+			inserted = true
+		}
+		orig.Receive(chars)
+	}))
+	if err := a.ifc.Send(b.ifc.MAC(), []byte("victim of a split")); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if len(b.received) != 0 {
+		t.Errorf("split packet delivered: %q", b.received)
+	}
+	if b.ifc.Counters().TotalDrops() < 1 {
+		t.Error("split fragments not counted as drops")
+	}
+}

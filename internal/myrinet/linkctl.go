@@ -1,0 +1,383 @@
+package myrinet
+
+import (
+	"netfi/internal/phy"
+	"netfi/internal/sim"
+)
+
+// LinkController implements the per-port link protocol shared by switch
+// ports and host interfaces: the transmit side paces packets in small chunks
+// gated by remote STOP/GO with the short-period (act-as-GO) and long-period
+// (terminate packet) timeouts; the receive side classifies incoming
+// characters — flow-control symbols act immediately on the transmitter,
+// data and GAP characters enter the slack buffer, IDLEs are discarded — and
+// generates STOP/GO from the slack watermarks.
+//
+// The zero value is not usable; construct with NewLinkController.
+type LinkController struct {
+	k    *sim.Kernel
+	name string
+	out  *phy.Link
+	ctr  *Counters
+
+	// Transmit side.
+	paused      bool
+	shortTimer  *sim.Timer
+	longTimer   *sim.Timer
+	txq         []*txPacket
+	cur         *txPacket
+	curPos      int
+	txScheduled bool
+
+	// Streaming transmit side (used by switch ports for cut-through
+	// forwarding; mutually exclusive with the packet queue in practice).
+	streamBuf     []phy.Character
+	streamPos     int
+	txDrainNotify func()
+
+	// Receive side.
+	slack        *SlackBuffer
+	refreshEvent sim.EventID
+	refreshOn    bool
+	notify       func() // consumer callback: data available in slack
+}
+
+// txPacket is one queued packet: its encoded character stream (including the
+// trailing GAP) and a completion callback.
+type txPacket struct {
+	chars  []phy.Character
+	onDone func(terminated bool)
+}
+
+// LinkControllerConfig parameterizes a controller.
+type LinkControllerConfig struct {
+	// Name labels the controller in traces.
+	Name string
+	// Out is the transmit link.
+	Out *phy.Link
+	// Counters receives statistics; required.
+	Counters *Counters
+	// SlackCapacity/SlackHigh/SlackLow set the receive buffer geometry.
+	// Zero values select the package defaults.
+	SlackCapacity int
+	SlackHigh     int
+	SlackLow      int
+}
+
+// NewLinkController builds a controller transmitting on cfg.Out. The
+// consumer is registered later with SetNotify; characters arriving before
+// that sit in the slack buffer.
+func NewLinkController(k *sim.Kernel, cfg LinkControllerConfig) *LinkController {
+	if cfg.Out == nil {
+		panic("myrinet: LinkController requires an output link")
+	}
+	if cfg.Counters == nil {
+		panic("myrinet: LinkController requires counters")
+	}
+	capacity, high, low := cfg.SlackCapacity, cfg.SlackHigh, cfg.SlackLow
+	if capacity == 0 {
+		capacity, high, low = DefaultSlackCapacity, DefaultSlackHigh, DefaultSlackLow
+	}
+	lc := &LinkController{
+		k:    k,
+		name: cfg.Name,
+		out:  cfg.Out,
+		ctr:  cfg.Counters,
+	}
+	lc.slack = NewSlackBuffer(capacity, high, low, lc.assertStop, lc.assertGo)
+	lc.shortTimer = sim.NewTimer(k, ShortTimeout, lc.onShortTimeout)
+	lc.longTimer = sim.NewTimer(k, LongTimeout, lc.onLongTimeout)
+	return lc
+}
+
+// Name returns the controller's label.
+func (lc *LinkController) Name() string { return lc.name }
+
+// Counters returns the controller's statistics.
+func (lc *LinkController) Counters() *Counters { return lc.ctr }
+
+// Slack exposes the receive buffer (for monitors and tests).
+func (lc *LinkController) Slack() *SlackBuffer { return lc.slack }
+
+// Out returns the transmit link.
+func (lc *LinkController) Out() *phy.Link { return lc.out }
+
+// SetNotify registers the consumer callback invoked whenever characters are
+// appended to the slack buffer. The consumer drains via Pop/Peek.
+func (lc *LinkController) SetNotify(fn func()) { lc.notify = fn }
+
+// Pop removes the oldest buffered character, possibly triggering the
+// low-watermark GO.
+func (lc *LinkController) Pop() (phy.Character, bool) { return lc.slack.Pop() }
+
+// Peek returns the oldest buffered character without removing it.
+func (lc *LinkController) Peek() (phy.Character, bool) { return lc.slack.Peek() }
+
+// Buffered reports how many characters wait in the slack buffer.
+func (lc *LinkController) Buffered() int { return lc.slack.Len() }
+
+// ---- Transmit side ----
+
+// EnqueuePacket queues an encoded packet (characters including the trailing
+// GAP) for transmission. onDone, if non-nil, is invoked when the last
+// character has been handed to the link (terminated=false) or when the
+// long-period timeout killed the packet (terminated=true).
+func (lc *LinkController) EnqueuePacket(chars []phy.Character, onDone func(terminated bool)) {
+	lc.txq = append(lc.txq, &txPacket{chars: chars, onDone: onDone})
+	lc.scheduleTx()
+}
+
+// QueuedPackets reports how many packets wait behind the current one.
+func (lc *LinkController) QueuedPackets() int { return len(lc.txq) }
+
+// Transmitting reports whether a packet is partially sent.
+func (lc *LinkController) Transmitting() bool { return lc.cur != nil }
+
+// Paused reports whether remote STOP is gating the transmitter.
+func (lc *LinkController) Paused() bool { return lc.paused }
+
+// SendControl transmits a single control symbol immediately (it interleaves
+// after whatever chunk the link is currently serializing).
+func (lc *LinkController) SendControl(code byte) {
+	lc.out.Send([]phy.Character{phy.ControlChar(code)})
+}
+
+// StreamChars appends characters to the streaming transmit buffer. Switch
+// ports use this for cut-through forwarding: bytes flow out as they arrive,
+// gated by downstream STOP/GO, without packet-granularity queueing.
+func (lc *LinkController) StreamChars(chars []phy.Character) {
+	lc.streamBuf = append(lc.streamBuf, chars...)
+	lc.scheduleTx()
+}
+
+// TxBacklog reports how many characters wait in the streaming buffer. A
+// forwarding engine checks this before consuming more input so downstream
+// congestion propagates upstream as slack-buffer backpressure.
+func (lc *LinkController) TxBacklog() int { return len(lc.streamBuf) - lc.streamPos }
+
+// SetTxDrainNotify registers a callback invoked when the streaming backlog
+// drains below StreamBacklogLimit after having been at or above it.
+func (lc *LinkController) SetTxDrainNotify(fn func()) { lc.txDrainNotify = fn }
+
+// StreamBacklogLimit is the streaming backlog (characters) above which a
+// forwarding engine should stop consuming its input: the few dozen
+// characters of pipeline a real cut-through switch holds per port.
+const StreamBacklogLimit = 64
+
+func (lc *LinkController) scheduleTx() {
+	if lc.txScheduled || lc.paused {
+		return
+	}
+	if lc.cur == nil && len(lc.txq) == 0 && lc.TxBacklog() == 0 {
+		return
+	}
+	lc.txScheduled = true
+	// Run when the transmitter is free; immediately if it already is.
+	at := lc.out.BusyUntil()
+	if at < lc.k.Now() {
+		at = lc.k.Now()
+	}
+	lc.k.At(at, lc.txStep)
+}
+
+func (lc *LinkController) txStep() {
+	lc.txScheduled = false
+	if lc.paused {
+		return // resume on GO or short timeout
+	}
+	// Streaming buffer drains first (switch ports use only this path).
+	if lc.TxBacklog() > 0 {
+		lc.streamStep()
+		lc.scheduleTx()
+		return
+	}
+	if lc.cur == nil {
+		if len(lc.txq) == 0 {
+			return
+		}
+		lc.cur = lc.txq[0]
+		lc.txq = lc.txq[1:]
+		lc.curPos = 0
+	}
+	remaining := len(lc.cur.chars) - lc.curPos
+	n := txChunkChars
+	if n > remaining {
+		n = remaining
+	}
+	lc.out.Send(lc.cur.chars[lc.curPos : lc.curPos+n])
+	lc.ctr.CharsOut += uint64(n)
+	lc.curPos += n
+	if lc.curPos == len(lc.cur.chars) {
+		done := lc.cur
+		lc.cur = nil
+		lc.longTimer.Stop()
+		if done.onDone != nil {
+			done.onDone(false)
+		}
+	}
+	lc.scheduleTx()
+}
+
+func (lc *LinkController) streamStep() {
+	before := lc.TxBacklog()
+	n := txChunkChars
+	if n > before {
+		n = before
+	}
+	lc.out.Send(lc.streamBuf[lc.streamPos : lc.streamPos+n])
+	lc.ctr.CharsOut += uint64(n)
+	lc.streamPos += n
+	after := lc.TxBacklog()
+	if after == 0 {
+		// Reset the buffer so it does not grow without bound.
+		lc.streamBuf = lc.streamBuf[:0]
+		lc.streamPos = 0
+	}
+	if before >= StreamBacklogLimit && after < StreamBacklogLimit && lc.txDrainNotify != nil {
+		lc.txDrainNotify()
+	}
+}
+
+// pauseTx reacts to a received STOP.
+func (lc *LinkController) pauseTx() {
+	lc.ctr.StopsReceived++
+	lc.paused = true
+	lc.shortTimer.Reset()
+	if lc.cur != nil || len(lc.txq) > 0 {
+		if !lc.longTimer.Armed() {
+			lc.longTimer.Reset()
+		}
+	}
+}
+
+// resumeTx reacts to a received GO.
+func (lc *LinkController) resumeTx() {
+	lc.ctr.GosReceived++
+	lc.unpause()
+}
+
+func (lc *LinkController) unpause() {
+	lc.paused = false
+	lc.shortTimer.Stop()
+	lc.longTimer.Stop()
+	lc.scheduleTx()
+}
+
+// onShortTimeout implements the short-period recovery: a stopped sender that
+// hears no flow-control symbol for 16 character periods transitions itself
+// to GO (§4.3.1).
+func (lc *LinkController) onShortTimeout() {
+	if !lc.paused {
+		return
+	}
+	lc.ctr.ShortTimeouts++
+	lc.unpause()
+}
+
+// onLongTimeout implements the long-period recovery: a sender blocked for
+// ~4 million character periods terminates the packet, consumes the unsent
+// remainder, and emits a GAP to reclaim the path (§4.3.1).
+func (lc *LinkController) onLongTimeout() {
+	if lc.cur == nil && len(lc.txq) == 0 {
+		return
+	}
+	lc.ctr.LongTimeouts++
+	var victim *txPacket
+	if lc.cur != nil {
+		victim = lc.cur
+		lc.cur = nil
+	} else {
+		victim = lc.txq[0]
+		lc.txq = lc.txq[1:]
+	}
+	lc.ctr.Drop(DropTerminated)
+	// Terminate the packet on the wire so downstream paths release.
+	lc.out.Send([]phy.Character{charGap})
+	if victim.onDone != nil {
+		victim.onDone(true)
+	}
+	// Remain paused if STOP is still in force; the short timer will
+	// clear it if the remote has gone silent. Re-arm the long timer for
+	// the next queued packet so a persistent block keeps draining the
+	// queue at the long-timeout cadence rather than freezing forever.
+	if lc.paused && (len(lc.txq) > 0) {
+		lc.longTimer.Reset()
+	}
+	if !lc.paused {
+		lc.scheduleTx()
+	}
+}
+
+// ---- Receive side ----
+
+// Receive implements phy.Receiver: it classifies every incoming character.
+func (lc *LinkController) Receive(chars []phy.Character) {
+	pushed := false
+	for _, c := range chars {
+		lc.ctr.CharsIn++
+		if c.IsData() {
+			if !lc.slack.Push(c) {
+				lc.ctr.OverflowChars++
+			} else {
+				pushed = true
+			}
+			continue
+		}
+		switch DecodeControl(c.Byte()) {
+		case SymbolStop:
+			lc.pauseTx()
+		case SymbolGo:
+			lc.resumeTx()
+		case SymbolGap:
+			// Packet framing: GAP enters the stream.
+			if !lc.slack.Push(c) {
+				lc.ctr.OverflowChars++
+			} else {
+				pushed = true
+			}
+		default:
+			// IDLE and unrecognized codes: no action.
+		}
+	}
+	if pushed && lc.notify != nil {
+		lc.notify()
+	}
+}
+
+// assertStop is the slack buffer's high-watermark callback: issue STOP and
+// keep refreshing it so the remote's short-period timer does not release it.
+func (lc *LinkController) assertStop() {
+	lc.ctr.StopsSent++
+	lc.out.SendPriority([]phy.Character{charStop})
+	lc.armRefresh()
+}
+
+func (lc *LinkController) armRefresh() {
+	if lc.refreshOn {
+		return
+	}
+	lc.refreshOn = true
+	lc.refreshEvent = lc.k.After(StopRefresh, lc.refreshStop)
+}
+
+func (lc *LinkController) refreshStop() {
+	lc.refreshOn = false
+	if !lc.slack.Stopping() {
+		return
+	}
+	lc.ctr.StopsSent++
+	lc.out.SendPriority([]phy.Character{charStop})
+	lc.armRefresh()
+}
+
+// assertGo is the slack buffer's low-watermark callback.
+func (lc *LinkController) assertGo() {
+	if lc.refreshOn {
+		lc.k.Cancel(lc.refreshEvent)
+		lc.refreshOn = false
+	}
+	lc.ctr.GosSent++
+	lc.out.SendPriority([]phy.Character{charGo})
+}
+
+var _ phy.Receiver = (*LinkController)(nil)

@@ -1,0 +1,136 @@
+package myrinet
+
+import (
+	"errors"
+	"fmt"
+
+	"netfi/internal/bitstream"
+	"netfi/internal/phy"
+)
+
+// MAC is a 48-bit Ethernet-style address identifying a Myrinet port
+// (§4.3.3: "48-bit Ethernet addresses corresponding to individual Myrinet
+// ports").
+type MAC [6]byte
+
+// String formats the address in colon-separated hex.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsZero reports whether the address is all zeros.
+func (m MAC) IsZero() bool { return m == MAC{} }
+
+// NodeID is the 64-bit unique address of an MCP. The MCP with the highest
+// NodeID on a network is responsible for mapping it (§4.1).
+type NodeID uint64
+
+// Packet types carried in the 4-byte type field of every Myrinet packet.
+// The experiments of §4.3.2 corrupt the 16-bit designators 0x0004 (data)
+// and 0x0005 (mapping); the field is 4 bytes on the wire with the high two
+// bytes zero.
+const (
+	TypeData    uint16 = 0x0004
+	TypeMapping uint16 = 0x0005
+)
+
+// Route byte semantics (§4.3.2, "Source route corruption"): a byte with the
+// MSB set routes the packet through a switch (low bits select the output
+// port); the final byte has the MSB clear and is consumed by the destination
+// interface. A destination interface receiving a leading byte with the MSB
+// set must consume the packet and handle it as an error.
+const (
+	// RouteSwitchFlag marks a route byte addressed to a switch.
+	RouteSwitchFlag byte = 0x80
+	// RoutePortMask extracts the output port from a switch route byte.
+	RoutePortMask byte = 0x7F
+	// RouteFinal is the conventional final route byte consumed by the
+	// destination interface (MSB clear).
+	RouteFinal byte = 0x00
+)
+
+// SwitchHop builds the route byte selecting output port p at a switch.
+func SwitchHop(p int) byte { return RouteSwitchFlag | byte(p)&RoutePortMask }
+
+// Packet is the in-memory form of a Myrinet packet: an arbitrarily long
+// source route, a 4-byte packet type, an arbitrarily long payload, and a
+// single trailing CRC-8 byte (Fig. 6). The CRC is not stored here; it is
+// computed on encode and verified on decode.
+type Packet struct {
+	// Route holds the remaining source-route bytes. Each switch consumes
+	// the first byte and recomputes the trailing CRC.
+	Route []byte
+	// Type is the 16-bit packet-type designator (wire format pads it to
+	// 4 bytes with leading zeros).
+	Type uint16
+	// TypeHigh carries the two high-order bytes of the 4-byte type field,
+	// zero in every packet the paper describes; kept so that corruption of
+	// those bytes survives a decode/encode round trip.
+	TypeHigh uint16
+	// Payload is the packet body.
+	Payload []byte
+}
+
+// Bytes returns the packet's wire bytes excluding the trailing CRC.
+func (p *Packet) Bytes() []byte {
+	out := make([]byte, 0, len(p.Route)+4+len(p.Payload))
+	out = append(out, p.Route...)
+	out = append(out, byte(p.TypeHigh>>8), byte(p.TypeHigh), byte(p.Type>>8), byte(p.Type))
+	out = append(out, p.Payload...)
+	return out
+}
+
+// Encode returns the complete wire image: route, type, payload, CRC-8.
+func (p *Packet) Encode() []byte {
+	body := p.Bytes()
+	return append(body, bitstream.CRC8(body))
+}
+
+// EncodeChars returns the packet as link characters followed by the
+// packet-terminating GAP control symbol, ready for transmission (Fig. 8).
+func (p *Packet) EncodeChars() []phy.Character {
+	wire := p.Encode()
+	chars := make([]phy.Character, 0, len(wire)+1)
+	for _, b := range wire {
+		chars = append(chars, phy.DataChar(b))
+	}
+	return append(chars, charGap)
+}
+
+// Errors returned by Decode.
+var (
+	ErrTooShort = errors.New("myrinet: packet shorter than type+CRC")
+	ErrBadCRC   = errors.New("myrinet: CRC-8 mismatch")
+)
+
+// DecodePacket parses wire bytes (route+type+payload+CRC) as seen by a
+// destination interface, i.e. with routeLen bytes of source route remaining.
+// It verifies the trailing CRC-8 and returns ErrBadCRC on mismatch; the
+// packet is still returned for inspection by monitors.
+func DecodePacket(wire []byte, routeLen int) (*Packet, error) {
+	if len(wire) < routeLen+5 { // route + 4-byte type + CRC
+		return nil, ErrTooShort
+	}
+	body := wire[:len(wire)-1]
+	crc := wire[len(wire)-1]
+	p := &Packet{
+		Route:    append([]byte(nil), body[:routeLen]...),
+		TypeHigh: uint16(body[routeLen])<<8 | uint16(body[routeLen+1]),
+		Type:     uint16(body[routeLen+2])<<8 | uint16(body[routeLen+3]),
+		Payload:  append([]byte(nil), body[routeLen+4:]...),
+	}
+	if bitstream.CRC8(body) != crc {
+		return p, ErrBadCRC
+	}
+	return p, nil
+}
+
+// RouteTo builds the source route for a path: one switch hop byte per entry
+// in ports, then the final byte consumed by the destination interface.
+func RouteTo(ports ...int) []byte {
+	r := make([]byte, 0, len(ports)+1)
+	for _, p := range ports {
+		r = append(r, SwitchHop(p))
+	}
+	return append(r, RouteFinal)
+}

@@ -1,0 +1,107 @@
+package myrinet
+
+import "netfi/internal/phy"
+
+// SlackBuffer is the receive-side elastic buffer of a Myrinet port (Fig. 9).
+// Incoming characters are pushed as they arrive; the port's forwarding logic
+// pops them as it can make progress. Crossing the high watermark fires
+// onStop (the port issues a STOP symbol upstream); draining to the low
+// watermark fires onGo. Pushing into a full buffer destroys the character —
+// the overflow the paper's flow-control corruption campaign provokes.
+//
+// The zero value is not usable; construct with NewSlackBuffer.
+type SlackBuffer struct {
+	buf      []phy.Character
+	head     int
+	count    int
+	high     int
+	low      int
+	stopping bool
+	onStop   func()
+	onGo     func()
+	overflow uint64
+	pushes   uint64
+}
+
+// NewSlackBuffer returns a buffer with the given geometry. onStop and onGo
+// may be nil. Watermarks must satisfy 0 <= low < high <= capacity.
+func NewSlackBuffer(capacity, high, low int, onStop, onGo func()) *SlackBuffer {
+	if capacity <= 0 || low < 0 || high <= low || high > capacity {
+		panic("myrinet: invalid slack buffer geometry")
+	}
+	return &SlackBuffer{
+		buf:    make([]phy.Character, capacity),
+		high:   high,
+		low:    low,
+		onStop: onStop,
+		onGo:   onGo,
+	}
+}
+
+// NewDefaultSlackBuffer returns a buffer with the package-default geometry.
+func NewDefaultSlackBuffer(onStop, onGo func()) *SlackBuffer {
+	return NewSlackBuffer(DefaultSlackCapacity, DefaultSlackHigh, DefaultSlackLow, onStop, onGo)
+}
+
+// Push appends a character. It reports false — and destroys the character —
+// when the buffer is full. Crossing the high watermark triggers onStop once
+// until the buffer next drains to the low watermark.
+func (s *SlackBuffer) Push(c phy.Character) bool {
+	s.pushes++
+	if s.count == len(s.buf) {
+		s.overflow++
+		return false
+	}
+	s.buf[(s.head+s.count)%len(s.buf)] = c
+	s.count++
+	if s.count >= s.high && !s.stopping {
+		s.stopping = true
+		if s.onStop != nil {
+			s.onStop()
+		}
+	}
+	return true
+}
+
+// Pop removes and returns the oldest character. Draining to the low
+// watermark while stopping triggers onGo.
+func (s *SlackBuffer) Pop() (phy.Character, bool) {
+	if s.count == 0 {
+		return 0, false
+	}
+	c := s.buf[s.head]
+	s.head = (s.head + 1) % len(s.buf)
+	s.count--
+	if s.stopping && s.count <= s.low {
+		s.stopping = false
+		if s.onGo != nil {
+			s.onGo()
+		}
+	}
+	return c, true
+}
+
+// Peek returns the oldest character without removing it.
+func (s *SlackBuffer) Peek() (phy.Character, bool) {
+	if s.count == 0 {
+		return 0, false
+	}
+	return s.buf[s.head], true
+}
+
+// Len reports the number of buffered characters.
+func (s *SlackBuffer) Len() int { return s.count }
+
+// Cap reports the buffer capacity in characters.
+func (s *SlackBuffer) Cap() int { return len(s.buf) }
+
+// Stopping reports whether the buffer is between its high-watermark STOP
+// and the low-watermark GO.
+func (s *SlackBuffer) Stopping() bool { return s.stopping }
+
+// Overflow reports how many characters were destroyed by pushes into a full
+// buffer.
+func (s *SlackBuffer) Overflow() uint64 { return s.overflow }
+
+// Pushes reports the total number of push attempts.
+func (s *SlackBuffer) Pushes() uint64 { return s.pushes }

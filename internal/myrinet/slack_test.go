@@ -1,0 +1,148 @@
+package myrinet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netfi/internal/phy"
+)
+
+func TestSlackBufferFIFO(t *testing.T) {
+	s := NewSlackBuffer(8, 6, 2, nil, nil)
+	for i := byte(0); i < 5; i++ {
+		if !s.Push(phy.DataChar(i)) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	for i := byte(0); i < 5; i++ {
+		c, ok := s.Pop()
+		if !ok || c.Byte() != i {
+			t.Fatalf("pop %d = %v,%v", i, c, ok)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Error("pop from empty succeeded")
+	}
+}
+
+func TestSlackBufferWatermarks(t *testing.T) {
+	var stops, gos int
+	s := NewSlackBuffer(10, 6, 2, func() { stops++ }, func() { gos++ })
+	// Fill to high watermark: exactly one STOP.
+	for i := 0; i < 6; i++ {
+		s.Push(phy.DataChar(0))
+	}
+	if stops != 1 {
+		t.Fatalf("stops = %d after reaching high watermark, want 1", stops)
+	}
+	if !s.Stopping() {
+		t.Fatal("Stopping() = false at high watermark")
+	}
+	// More pushes do not re-fire STOP.
+	s.Push(phy.DataChar(0))
+	if stops != 1 {
+		t.Errorf("stops = %d after extra push, want 1", stops)
+	}
+	// Drain to low watermark: exactly one GO.
+	for s.Len() > 2 {
+		s.Pop()
+	}
+	if gos != 1 {
+		t.Errorf("gos = %d at low watermark, want 1", gos)
+	}
+	if s.Stopping() {
+		t.Error("Stopping() = true after GO")
+	}
+	// Refill across high: STOP again (hysteresis cycle, Fig. 9).
+	for s.Len() < 6 {
+		s.Push(phy.DataChar(0))
+	}
+	if stops != 2 {
+		t.Errorf("stops = %d after second cycle, want 2", stops)
+	}
+}
+
+func TestSlackBufferOverflowDestroysCharacters(t *testing.T) {
+	s := NewSlackBuffer(4, 3, 1, nil, nil)
+	for i := 0; i < 4; i++ {
+		s.Push(phy.DataChar(byte(i)))
+	}
+	if s.Push(phy.DataChar(99)) {
+		t.Error("push into full buffer succeeded")
+	}
+	if s.Overflow() != 1 {
+		t.Errorf("Overflow() = %d, want 1", s.Overflow())
+	}
+	// The destroyed character never appears.
+	for {
+		c, ok := s.Pop()
+		if !ok {
+			break
+		}
+		if c.Byte() == 99 {
+			t.Error("overflowed character appeared in the stream")
+		}
+	}
+}
+
+func TestSlackBufferGeometryValidation(t *testing.T) {
+	for _, bad := range [][3]int{{0, 0, 0}, {4, 5, 1}, {4, 2, 2}, {4, 2, 3}} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry %v did not panic", bad)
+				}
+			}()
+			NewSlackBuffer(bad[0], bad[1], bad[2], nil, nil)
+		}()
+	}
+}
+
+// Property: contents always come out in the order they went in, regardless
+// of the interleaving of pushes and pops, and Len never exceeds capacity.
+func TestSlackBufferOrderProperty(t *testing.T) {
+	prop := func(ops []bool) bool {
+		s := NewDefaultSlackBuffer(nil, nil)
+		var next, expect byte
+		for _, push := range ops {
+			if push {
+				if s.Push(phy.DataChar(next)) {
+					next++
+				}
+			} else if c, ok := s.Pop(); ok {
+				if c.Byte() != expect {
+					return false
+				}
+				expect++
+			}
+			if s.Len() > s.Cap() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlackBufferWrapAround(t *testing.T) {
+	s := NewSlackBuffer(4, 3, 1, nil, nil)
+	// Repeatedly push 2 / pop 2 to walk the ring head across the wrap.
+	v := byte(0)
+	w := byte(0)
+	for i := 0; i < 20; i++ {
+		s.Push(phy.DataChar(v))
+		v++
+		s.Push(phy.DataChar(v))
+		v++
+		for j := 0; j < 2; j++ {
+			c, ok := s.Pop()
+			if !ok || c.Byte() != w {
+				t.Fatalf("iteration %d: got %v,%v want %d", i, c, ok, w)
+			}
+			w++
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package myrinet
+
+import (
+	"fmt"
+
+	"netfi/internal/bitstream"
+	"netfi/internal/phy"
+	"netfi/internal/sim"
+)
+
+// Switch is a Myrinet crossbar switch: cut-through (wormhole) forwarding
+// with source routing. Each input port strips the leading route byte,
+// acquires the selected output port, and streams the packet through with a
+// one-byte holdback so the trailing CRC-8 can be replaced by the recomputed
+// value (the route byte it consumed no longer participates). The acquired
+// path is held until the packet-terminating GAP passes — if the GAP is lost,
+// the path stays occupied and other traffic to that output experiences
+// destination blocking until a GAP finally arrives (§4.3.1, "Corruption of
+// GAP symbols").
+//
+// Mapping packets (type 0x0005) additionally collect the input-port number
+// of every switch they traverse: the port byte is appended to the payload
+// (before the recomputed CRC), which is how scout replies learn a return
+// route. Real Myrinet mapping firmware obtains equivalent information; see
+// DESIGN.md.
+//
+// The zero value is not usable; construct with NewSwitch.
+type Switch struct {
+	k     *sim.Kernel
+	name  string
+	ports []*switchPort
+}
+
+// DefaultPortCount matches the paper's test bed (an 8-port switch).
+const DefaultPortCount = 8
+
+// portState is the input-side forwarding FSM state.
+type portState int
+
+const (
+	stIdle portState = iota
+	stForward
+	stDrop
+	stWaitOutput
+)
+
+// headPhase tracks progress through a packet's head so a forwarding port can
+// recognize mapping packets without knowing route length a priori: remaining
+// route bytes have the MSB set, then one final route byte, then the 4-byte
+// type field.
+type headPhase int
+
+const (
+	phRoute headPhase = iota
+	phType
+	phBody
+)
+
+type switchPort struct {
+	sw    *Switch
+	index int
+	lc    *LinkController // nil when nothing attached
+	ctr   *Counters
+
+	// Input FSM.
+	state        portState
+	outPort      *switchPort
+	pendingRoute byte // route byte consumed while waiting for the output
+	held         byte
+	haveHeld     bool
+	// crcCorr is the incremental CRC adjustment for the stripped route
+	// byte: the hardware does not rescan the packet, it updates the
+	// trailing CRC-8 using the code's linearity — so corruption already
+	// present in the stream stays CRC-inconsistent through the hop
+	// (which is how §4.3.3's address corruptions get dropped "as a
+	// result of the incorrect CRC-8" at the destination).
+	crcCorr   byte
+	phase     headPhase
+	typeBytes []byte
+	isMapping bool
+
+	// Output ownership.
+	owner   *switchPort
+	waiters []*switchPort
+}
+
+// NewSwitch returns a switch with n unattached ports.
+func NewSwitch(k *sim.Kernel, name string, n int) *Switch {
+	if n <= 0 {
+		panic("myrinet: switch needs at least one port")
+	}
+	sw := &Switch{k: k, name: name, ports: make([]*switchPort, n)}
+	for i := range sw.ports {
+		sw.ports[i] = &switchPort{sw: sw, index: i, ctr: NewCounters()}
+	}
+	return sw
+}
+
+// Name returns the switch's label.
+func (sw *Switch) Name() string { return sw.name }
+
+// Ports reports the port count.
+func (sw *Switch) Ports() int { return len(sw.ports) }
+
+// Attached reports whether a device is connected at port p.
+func (sw *Switch) Attached(p int) bool {
+	return p >= 0 && p < len(sw.ports) && sw.ports[p].lc != nil
+}
+
+// PortCounters returns the statistics of port p.
+func (sw *Switch) PortCounters(p int) *Counters { return sw.ports[p].ctr }
+
+// AttachLink wires port p: out is the link transmitting toward the attached
+// device; the returned receiver must be set as the destination of the link
+// arriving from the device.
+func (sw *Switch) AttachLink(p int, out *phy.Link) phy.Receiver {
+	if p < 0 || p >= len(sw.ports) {
+		panic(fmt.Sprintf("myrinet: switch %s has no port %d", sw.name, p))
+	}
+	port := sw.ports[p]
+	if port.lc != nil {
+		panic(fmt.Sprintf("myrinet: switch %s port %d already attached", sw.name, p))
+	}
+	port.lc = NewLinkController(sw.k, LinkControllerConfig{
+		Name:     fmt.Sprintf("%s.p%d", sw.name, p),
+		Out:      out,
+		Counters: port.ctr,
+	})
+	port.lc.SetNotify(port.drain)
+	port.lc.SetTxDrainNotify(port.onOutputDrained)
+	return port.lc
+}
+
+// Controller exposes port p's link controller (monitors and tests).
+func (sw *Switch) Controller(p int) *LinkController { return sw.ports[p].lc }
+
+// ---- input FSM ----
+
+// drain consumes characters from the port's slack buffer until it empties or
+// the FSM must block (output busy, or downstream backlog at the limit).
+func (p *switchPort) drain() {
+	for {
+		switch p.state {
+		case stWaitOutput:
+			return // woken by onOutputFree
+		case stForward:
+			if p.outPort.lc.TxBacklog() >= StreamBacklogLimit {
+				return // woken by onOutputDrained
+			}
+		}
+		c, ok := p.lc.Pop()
+		if !ok {
+			return
+		}
+		p.step(c)
+	}
+}
+
+// step feeds one character to the FSM.
+func (p *switchPort) step(c phy.Character) {
+	switch p.state {
+	case stIdle:
+		p.stepIdle(c)
+	case stForward:
+		p.stepForward(c)
+	case stDrop:
+		if !c.IsData() && DecodeControl(c.Byte()) == SymbolGap {
+			p.state = stIdle
+		}
+	case stWaitOutput:
+		// Unreachable: drain() never pops in this state.
+		panic("myrinet: switch port consumed input while waiting for output")
+	}
+}
+
+func (p *switchPort) stepIdle(c phy.Character) {
+	if !c.IsData() {
+		return // stray GAP between packets: harmless separator
+	}
+	route := c.Byte()
+	if route&RouteSwitchFlag == 0 {
+		// The packet expected to be at its destination already.
+		p.ctr.Drop(DropSwitchMSB)
+		p.state = stDrop
+		return
+	}
+	out := int(route & RoutePortMask)
+	if out >= len(p.sw.ports) || p.sw.ports[out].lc == nil {
+		p.ctr.Drop(DropBadPort)
+		p.state = stDrop
+		return
+	}
+	target := p.sw.ports[out]
+	if target.owner != nil {
+		// Destination blocking: the output is held by another path.
+		p.pendingRoute = route
+		p.state = stWaitOutput
+		target.waiters = append(target.waiters, p)
+		return
+	}
+	p.beginForward(target, route)
+}
+
+// beginForward acquires the output port and resets per-packet state.
+func (p *switchPort) beginForward(target *switchPort, route byte) {
+	target.owner = p
+	p.outPort = target
+	p.state = stForward
+	p.crcCorr = bitstream.CRC8Update(0, route)
+	p.haveHeld = false
+	p.phase = phRoute
+	p.typeBytes = p.typeBytes[:0]
+	p.isMapping = false
+}
+
+func (p *switchPort) stepForward(c phy.Character) {
+	if c.IsData() {
+		b := c.Byte()
+		p.scanHead(b)
+		if p.haveHeld {
+			p.emit(p.held)
+		}
+		p.held = b
+		p.haveHeld = true
+		return
+	}
+	if DecodeControl(c.Byte()) != SymbolGap {
+		return // IDLE or unknown inside a packet: ignored
+	}
+	// End of packet: the held byte is the incoming CRC — adjust it for
+	// the stripped route byte (and any appended port byte).
+	if p.haveHeld {
+		crc := p.held ^ p.crcCorr
+		if p.isMapping {
+			// Collect the input port for the scout and extend the CRC
+			// over it.
+			p.outPort.lc.StreamChars([]phy.Character{phy.DataChar(byte(p.index))})
+			crc = bitstream.CRC8Update(crc, byte(p.index))
+		}
+		p.outPort.lc.StreamChars([]phy.Character{phy.DataChar(crc), charGap})
+		p.ctr.PacketsForwarded++
+	} else {
+		// Route byte immediately followed by GAP: nothing to forward.
+		p.outPort.lc.StreamChars([]phy.Character{charGap})
+		p.ctr.Drop(DropTruncated)
+	}
+	p.releaseOutput()
+	p.state = stIdle
+}
+
+// scanHead advances the head-phase tracker used to recognize mapping
+// packets: skip remaining route bytes (MSB set), one final route byte, then
+// collect the 4-byte type field.
+func (p *switchPort) scanHead(b byte) {
+	switch p.phase {
+	case phRoute:
+		if b&RouteSwitchFlag != 0 {
+			return // another switch hop ahead
+		}
+		p.phase = phType // b is the final route byte
+	case phType:
+		p.typeBytes = append(p.typeBytes, b)
+		if len(p.typeBytes) == 4 {
+			typ := uint16(p.typeBytes[2])<<8 | uint16(p.typeBytes[3])
+			p.isMapping = typ == TypeMapping && p.typeBytes[0] == 0 && p.typeBytes[1] == 0
+			p.phase = phBody
+		}
+	case phBody:
+	}
+}
+
+// emit streams one forwarded data byte and advances the CRC correction by
+// one position (the stripped byte's error term shifts with every following
+// byte).
+func (p *switchPort) emit(b byte) {
+	p.crcCorr = bitstream.CRC8Update(p.crcCorr, 0)
+	p.outPort.lc.StreamChars([]phy.Character{phy.DataChar(b)})
+}
+
+// releaseOutput frees the held output port and wakes the next waiter.
+func (p *switchPort) releaseOutput() {
+	out := p.outPort
+	p.outPort = nil
+	out.owner = nil
+	if len(out.waiters) > 0 {
+		next := out.waiters[0]
+		out.waiters = out.waiters[1:]
+		p.sw.k.After(0, func() { next.onOutputFree(out) })
+	}
+}
+
+// onOutputFree resumes a port blocked in stWaitOutput.
+func (p *switchPort) onOutputFree(out *switchPort) {
+	if p.state != stWaitOutput {
+		return
+	}
+	if out.owner != nil {
+		// Someone re-acquired it first; queue again.
+		out.waiters = append(out.waiters, p)
+		return
+	}
+	p.beginForward(out, p.pendingRoute)
+	p.drain()
+}
+
+// onOutputDrained resumes a port that paused on downstream backlog.
+func (p *switchPort) onOutputDrained() {
+	// The callback fires on the OUTPUT controller; resume the input that
+	// holds it.
+	if p.owner != nil {
+		p.owner.drain()
+	}
+}

@@ -1,0 +1,117 @@
+// Package myrinet is a character-accurate simulator of the Myrinet LAN the
+// paper's fault-injection campaign targeted: 9-bit link characters (D/C flag
+// + 8 data bits), GAP/GO/STOP/IDLE control symbols, slack-buffer flow control
+// with watermarks and STOP/GO generation, cut-through crossbar switches with
+// source-route byte stripping and per-hop CRC-8 recomputation, host
+// interfaces running a Myrinet Control Program (MCP) with the scout-based
+// mapping protocol, and the short-period (16 character) and long-period
+// (~4 M character, about 50 ms) timeouts whose interactions the campaign of
+// §4 exposes.
+package myrinet
+
+import "netfi/internal/phy"
+
+// Control symbol codes, as given in §4.3.1 of the paper. The encodings keep
+// a Hamming distance of at least two between any two symbols.
+const (
+	// SymIdle fills the link when nothing is transmitted. Receivers take
+	// no action on it.
+	SymIdle byte = 0x00
+	// SymGo resumes a stopped transmitter (flow control).
+	SymGo byte = 0x03
+	// SymGap separates packets: it marks the previous data character as
+	// the packet tail. GAPs never appear inside a packet.
+	SymGap byte = 0x0C
+	// SymStop pauses the remote transmitter (flow control, issued when a
+	// slack buffer reaches its high watermark).
+	SymStop byte = 0x0F
+)
+
+// Symbol is the decoded meaning of a control character.
+type Symbol int
+
+// Decoded control symbols. Start at 1 so the zero value is distinguishable
+// as "not decoded".
+const (
+	SymbolUnknown Symbol = iota // unrecognized code: ignored like IDLE
+	SymbolIdle
+	SymbolGo
+	SymbolGap
+	SymbolStop
+)
+
+// String returns the symbol mnemonic.
+func (s Symbol) String() string {
+	switch s {
+	case SymbolIdle:
+		return "IDLE"
+	case SymbolGo:
+		return "GO"
+	case SymbolGap:
+		return "GAP"
+	case SymbolStop:
+		return "STOP"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Code returns the canonical wire code for a symbol. Unknown maps to IDLE.
+func (s Symbol) Code() byte {
+	switch s {
+	case SymbolGo:
+		return SymGo
+	case SymbolGap:
+		return SymGap
+	case SymbolStop:
+		return SymStop
+	default:
+		return SymIdle
+	}
+}
+
+// DecodeControl decodes a received control character code into a symbol,
+// implementing the error-tolerant rules quoted in §4.3.1: the canonical
+// codes decode exactly; certain single-fault patterns still decode to their
+// original symbol (0x08 is still recognized as STOP, 0x02 as GO); anything
+// else is treated as IDLE/unknown and ignored. This protection is what makes
+// single bit errors mostly harmless and forces the campaign to use targeted
+// symbol *replacement* (burst errors) instead.
+func DecodeControl(code byte) Symbol {
+	switch code {
+	case SymIdle:
+		return SymbolIdle
+	case SymGo:
+		return SymbolGo
+	case SymGap:
+		return SymbolGap
+	case SymStop:
+		return SymbolStop
+	case 0x08: // single 1->0 fault on STOP, per the paper
+		return SymbolStop
+	case 0x02: // single 1->0 fault on GO, per the paper
+		return SymbolGo
+	default:
+		return SymbolUnknown
+	}
+}
+
+// Control characters as phy characters, for convenience.
+var (
+	charIdle = phy.ControlChar(SymIdle)
+	charGo   = phy.ControlChar(SymGo)
+	charGap  = phy.ControlChar(SymGap)
+	charStop = phy.ControlChar(SymStop)
+)
+
+// GapChar returns the GAP control character.
+func GapChar() phy.Character { return charGap }
+
+// StopChar returns the STOP control character.
+func StopChar() phy.Character { return charStop }
+
+// GoChar returns the GO control character.
+func GoChar() phy.Character { return charGo }
+
+// IdleChar returns the IDLE control character.
+func IdleChar() phy.Character { return charIdle }

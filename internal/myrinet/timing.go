@@ -1,0 +1,61 @@
+package myrinet
+
+import "netfi/internal/sim"
+
+// Link and protocol timing, matching the paper's numbers.
+const (
+	// CharPeriod is the serialization time of one 9-bit character at the
+	// paper's 80 MB/s per-direction rate: "at 80 MB/s, a character period
+	// is roughly 12.5 ns" (§4.3.1). The full-duplex pair gives the quoted
+	// 1.28 Gb/s aggregate (2 x 640 Mb/s).
+	CharPeriod = 12_500 * sim.Picosecond
+
+	// ShortTimeoutChars is the short-period timeout of the flow-control
+	// logic: "The timeout counter is set to 16 character periods"
+	// (§4.3.1). A stopped sender that hears nothing for this long acts as
+	// if it received GO.
+	ShortTimeoutChars = 16
+
+	// ShortTimeout is the short-period timeout as a duration (200 ns).
+	ShortTimeout = ShortTimeoutChars * CharPeriod
+
+	// LongTimeoutChars is the long-period timeout: "roughly four million
+	// character transmission periods (~50 ms at a data rate of 80 MB/s)"
+	// (§4.3.1). A sending host blocked for this long terminates the
+	// packet and consumes its unsent remainder.
+	LongTimeoutChars = 4_000_000
+
+	// LongTimeout is the long-period timeout as a duration (50 ms).
+	LongTimeout = LongTimeoutChars * CharPeriod
+
+	// StopRefreshChars paces re-assertion of STOP while a slack buffer
+	// stays above its low watermark; it must be well under
+	// ShortTimeoutChars or the remote sender would time out back to GO
+	// between refreshes.
+	StopRefreshChars = 8
+
+	// StopRefresh is the refresh interval as a duration (100 ns).
+	StopRefresh = StopRefreshChars * CharPeriod
+
+	// txChunkChars bounds how many characters a transmitter emits between
+	// checks of its flow-control gate. Smaller chunks react to STOP
+	// faster but cost more events; 32 characters (400 ns) is far inside
+	// every slack buffer's absorption margin.
+	txChunkChars = 32
+)
+
+// Slack-buffer geometry (Fig. 9). The buffer must absorb everything in
+// flight after STOP is asserted: a transmit chunk (32 chars) plus the STOP's
+// round-trip, so the gap between high watermark and capacity is generous.
+const (
+	// DefaultSlackCapacity is the buffer size in characters. The margin
+	// above the high watermark absorbs everything in flight after STOP:
+	// a transmit chunk, the STOP's round trip, and the extra latency of
+	// an inserted fault injector ("can be simply modeled by a longer
+	// cable", §1 — the slack margin is what makes that true).
+	DefaultSlackCapacity = 512
+	// DefaultSlackHigh is the high watermark: crossing it issues STOP.
+	DefaultSlackHigh = 256
+	// DefaultSlackLow is the low watermark: falling to it issues GO.
+	DefaultSlackLow = 96
+)

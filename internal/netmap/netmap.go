@@ -1,0 +1,68 @@
+// Package netmap renders mapping-round snapshots the way the paper's mmon
+// visualizes the network (Fig. 11): a consistent map shows every node
+// hanging off its switch port; a damaged map — e.g. after the
+// controller-address corruption of §4.3.3 — shows missing nodes, duplicate
+// identities, and an "INCONSISTENT" verdict that varies across rounds.
+package netmap
+
+import (
+	"fmt"
+	"strings"
+
+	"netfi/internal/myrinet"
+)
+
+// Render draws one snapshot as ASCII.
+func Render(s *myrinet.Snapshot) string {
+	if s == nil {
+		return "(no map)\n"
+	}
+	var b strings.Builder
+	verdict := "CONSISTENT"
+	if s.Inconsistent {
+		verdict = "INCONSISTENT"
+	}
+	fmt.Fprintf(&b, "network map @ %v  round=%d  mapper=%#x  [%s]\n", s.At, s.Round, uint64(s.Mapper), verdict)
+	fmt.Fprintf(&b, "  switch\n")
+	for _, e := range s.Entries {
+		port := "local"
+		if len(e.Route) > 0 && e.Route[0]&myrinet.RouteSwitchFlag != 0 {
+			port = fmt.Sprintf("p%d", e.Route[0]&myrinet.RoutePortMask)
+		}
+		fmt.Fprintf(&b, "  +-- %-5s %v  id=%#x\n", port, e.MAC, uint64(e.ID))
+	}
+	if len(s.Entries) == 0 {
+		b.WriteString("  (empty)\n")
+	}
+	return b.String()
+}
+
+// Diff summarizes what changed between two snapshots: nodes lost, nodes
+// appearing, consistency transitions. It is the core of the before/after
+// contrast in Fig. 11.
+func Diff(before, after *myrinet.Snapshot) string {
+	var b strings.Builder
+	if before == nil || after == nil {
+		return "(missing snapshot)\n"
+	}
+	lost, gained := 0, 0
+	for _, e := range before.Entries {
+		if !after.Has(e.MAC) {
+			fmt.Fprintf(&b, "lost:   %v\n", e.MAC)
+			lost++
+		}
+	}
+	for _, e := range after.Entries {
+		if !before.Has(e.MAC) {
+			fmt.Fprintf(&b, "gained: %v\n", e.MAC)
+			gained++
+		}
+	}
+	if before.Inconsistent != after.Inconsistent {
+		fmt.Fprintf(&b, "consistency: %v -> %v\n", !before.Inconsistent, !after.Inconsistent)
+	}
+	if lost == 0 && gained == 0 && before.Inconsistent == after.Inconsistent {
+		b.WriteString("(no change)\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package netmap
+
+import (
+	"strings"
+	"testing"
+
+	"netfi/internal/myrinet"
+)
+
+func snap(inconsistent bool, macs ...byte) *myrinet.Snapshot {
+	s := &myrinet.Snapshot{Mapper: 3, Round: 1, Inconsistent: inconsistent}
+	for i, m := range macs {
+		e := myrinet.MapEntry{
+			MAC: myrinet.MAC{0x06, 0, 0, 0, 0, m},
+			ID:  myrinet.NodeID(i + 1),
+		}
+		if i == 0 {
+			e.Route = []byte{myrinet.RouteFinal}
+		} else {
+			e.Route = myrinet.RouteTo(i)
+		}
+		s.Entries = append(s.Entries, e)
+	}
+	return s
+}
+
+func TestRenderConsistentMap(t *testing.T) {
+	out := Render(snap(false, 0x11, 0x12, 0x13))
+	if !strings.Contains(out, "CONSISTENT") {
+		t.Errorf("missing verdict: %q", out)
+	}
+	if !strings.Contains(out, "06:00:00:00:00:12") {
+		t.Errorf("missing node: %q", out)
+	}
+	if !strings.Contains(out, "local") {
+		t.Errorf("mapper not shown as local: %q", out)
+	}
+	if !strings.Contains(out, "p2") {
+		t.Errorf("port labels missing: %q", out)
+	}
+}
+
+func TestRenderInconsistentMap(t *testing.T) {
+	out := Render(snap(true, 0x11))
+	if !strings.Contains(out, "INCONSISTENT") {
+		t.Errorf("missing verdict: %q", out)
+	}
+}
+
+func TestRenderNil(t *testing.T) {
+	if got := Render(nil); !strings.Contains(got, "no map") {
+		t.Errorf("Render(nil) = %q", got)
+	}
+}
+
+func TestDiffReportsLossAndGain(t *testing.T) {
+	before := snap(false, 0x11, 0x12, 0x13)
+	after := snap(true, 0x11, 0x77)
+	out := Diff(before, after)
+	if !strings.Contains(out, "lost:") || !strings.Contains(out, "gained:") {
+		t.Errorf("diff missing changes: %q", out)
+	}
+	if !strings.Contains(out, "consistency: true -> false") {
+		t.Errorf("diff missing consistency transition: %q", out)
+	}
+}
+
+func TestDiffNoChange(t *testing.T) {
+	s := snap(false, 0x11, 0x12)
+	if out := Diff(s, s); !strings.Contains(out, "no change") {
+		t.Errorf("Diff(s,s) = %q", out)
+	}
+}

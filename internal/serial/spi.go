@@ -1,0 +1,68 @@
+package serial
+
+// SPI framing (§3.3): the communications handler "assembles data in the
+// 16-bit SPI protocol format from 8-bit ASCII codes". Each 16-bit frame
+// carries one payload byte in the low half and a tag in the high half; the
+// tag distinguishes command-stream bytes from board status and gives the
+// frame the self-describing shape a hardware FSM can route without a
+// separate strobe line.
+
+// SPI frame tags.
+const (
+	// TagData marks a frame carrying one command/response byte.
+	TagData byte = 0xA5
+	// TagStatus marks a board-status frame (low half = status code).
+	TagStatus byte = 0x5A
+)
+
+// Frame is one 16-bit SPI transfer.
+type Frame uint16
+
+// NewDataFrame wraps one payload byte.
+func NewDataFrame(b byte) Frame { return Frame(uint16(TagData)<<8 | uint16(b)) }
+
+// NewStatusFrame wraps one status code.
+func NewStatusFrame(code byte) Frame { return Frame(uint16(TagStatus)<<8 | uint16(code)) }
+
+// Tag returns the frame's high-half tag.
+func (f Frame) Tag() byte { return byte(f >> 8) }
+
+// Payload returns the frame's low-half byte.
+func (f Frame) Payload() byte { return byte(f) }
+
+// IsData reports whether the frame carries a command/response byte.
+func (f Frame) IsData() bool { return f.Tag() == TagData }
+
+// Assembler packs a byte stream into SPI frames and unpacks it again,
+// mirroring the SPI entity's serialize/deserialize role.
+type Assembler struct {
+	frames   uint64
+	rejected uint64
+}
+
+// Pack converts bytes to data frames.
+func (a *Assembler) Pack(data []byte) []Frame {
+	out := make([]Frame, len(data))
+	for i, b := range data {
+		out[i] = NewDataFrame(b)
+	}
+	a.frames += uint64(len(data))
+	return out
+}
+
+// Unpack extracts payload bytes from data frames, discarding (and
+// counting) frames with unknown tags — line noise on a real SPI bus.
+func (a *Assembler) Unpack(frames []Frame) []byte {
+	out := make([]byte, 0, len(frames))
+	for _, f := range frames {
+		if !f.IsData() {
+			a.rejected++
+			continue
+		}
+		out = append(out, f.Payload())
+	}
+	return out
+}
+
+// Stats reports frames packed and frames rejected on unpack.
+func (a *Assembler) Stats() (packed, rejected uint64) { return a.frames, a.rejected }

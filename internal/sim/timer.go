@@ -1,0 +1,52 @@
+package sim
+
+// Timer is a resettable one-shot timeout bound to a kernel, modeled after the
+// watchdog counters in Myrinet interfaces: every received symbol resets the
+// short-period counter, and expiry fires a recovery action.
+//
+// The zero value is not usable; construct with NewTimer.
+type Timer struct {
+	k       *Kernel
+	d       Duration
+	fn      func()
+	pending EventID
+	armed   bool
+	fires   uint64
+}
+
+// NewTimer returns a timer that invokes fn when d elapses without a Reset.
+// The timer starts disarmed.
+func NewTimer(k *Kernel, d Duration, fn func()) *Timer {
+	return &Timer{k: k, d: d, fn: fn}
+}
+
+// Reset (re)arms the timer for a full period from now.
+func (t *Timer) Reset() {
+	t.Stop()
+	t.armed = true
+	t.pending = t.k.After(t.d, func() {
+		t.armed = false
+		t.fires++
+		t.fn()
+	})
+}
+
+// Stop disarms the timer without firing.
+func (t *Timer) Stop() {
+	if t.armed {
+		t.k.Cancel(t.pending)
+		t.armed = false
+	}
+}
+
+// Armed reports whether the timer is counting down.
+func (t *Timer) Armed() bool { return t.armed }
+
+// Fires reports how many times the timer has expired.
+func (t *Timer) Fires() uint64 { return t.fires }
+
+// SetPeriod changes the timeout period. It takes effect at the next Reset.
+func (t *Timer) SetPeriod(d Duration) { t.d = d }
+
+// Period returns the current timeout period.
+func (t *Timer) Period() Duration { return t.d }
