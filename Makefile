@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: all build test bench check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+check:
+	sh scripts/check.sh

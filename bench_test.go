@@ -16,6 +16,7 @@ import (
 	"netfi/internal/fibrechannel"
 	"netfi/internal/myrinet"
 	"netfi/internal/phy"
+	"netfi/internal/rules"
 	"netfi/internal/sim"
 	"netfi/internal/synth"
 )
@@ -198,6 +199,64 @@ func BenchmarkFIFOInjectorMatching(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.Process(burst)
 	}
+}
+
+// BenchmarkRuleEngine measures the multi-rule trigger path through the same
+// datapath as the legacy benchmark above: bursts of 1024 characters with one
+// embedded two-character match, with 1, 8 and 64 concurrent rules armed, in
+// both compiled forms (flat DFA transition table vs per-rule NFA lanes). The
+// DFA rows are the hardware-faithful cost model — per-symbol work independent
+// of rule count — and must stay within small constant factors of the legacy
+// single-pattern matcher.
+func BenchmarkRuleEngine(b *testing.B) {
+	for _, n := range []int{1, 8, 64} {
+		set := ruleBenchSet(n)
+		for _, form := range []struct {
+			name  string
+			force bool
+		}{{"dfa", false}, {"lanes", true}} {
+			b.Run(itoa(n)+"rules/"+form.name, func(b *testing.B) {
+				prog, err := rules.Compile(set, rules.Options{ForceLanes: form.force})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := prog.Stats().Mode; !form.force && got != "dfa" {
+					b.Fatalf("expected dfa form, compiled to %s", got)
+				}
+				e := core.NewEngine(core.DefaultSlackChars)
+				e.SetRuleProgram(prog)
+				burst := phy.DataChars(make([]byte, 1024))
+				burst[512] = phy.DataChar(0x20)
+				burst[513] = phy.DataChar(0x21)
+				b.SetBytes(1024)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Process(burst)
+				}
+				b.ReportMetric(float64(prog.Stats().DFAStates), "dfa-states")
+			})
+		}
+	}
+}
+
+// ruleBenchSet builds n two-step toggle rules over disjoint byte pairs;
+// only rule 1's pair is embedded in the benchmark burst.
+func ruleBenchSet(n int) []rules.Rule {
+	rs := make([]rules.Rule, n)
+	for i := range rs {
+		b0 := uint16(0x20 + 2*i)
+		rs[i] = rules.Rule{
+			ID:     i + 1,
+			Mode:   rules.ModeOn,
+			Action: rules.ActionToggle,
+			Steps: []rules.Step{
+				{Sym: 0x100 | b0, Mask: rules.SymbolMask},
+				{Sym: 0x100 | (b0 + 1), Mask: rules.SymbolMask},
+			},
+			CorruptData: []uint16{0, 0x01},
+		}
+	}
+	return rs
 }
 
 // ---- Fig. 9: slack buffer ----

@@ -9,6 +9,7 @@
 //	netfi sec433       physical-address corruption + Fig. 11 (§4.3.3)
 //	netfi sec434       UDP checksum evasion (§4.3.4)
 //	netfi passthrough  transparency demonstration (§3.5 / Fig. 8)
+//	netfi multirule    multi-target corruption via the rule engine
 //	netfi all          everything above in order
 //
 // Flags:
@@ -41,7 +42,7 @@ func run(args []string) int {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: netfi [-seed N] [-scale F] <table1|table2|table4|sec431|sec432|sec433|sec434|passthrough|all>")
+		fmt.Fprintln(os.Stderr, "usage: netfi [-seed N] [-scale F] <table1|table2|table4|sec431|sec432|sec433|sec434|passthrough|multirule|all>")
 		return 2
 	}
 	cmds := map[string]func(int64, float64){
@@ -53,10 +54,11 @@ func run(args []string) int {
 		"sec433":      sec433,
 		"sec434":      sec434,
 		"passthrough": passthrough,
+		"multirule":   multirule,
 	}
 	name := fs.Arg(0)
 	if name == "all" {
-		for _, n := range []string{"table1", "table2", "table4", "sec431", "sec432", "sec433", "sec434", "passthrough"} {
+		for _, n := range []string{"table1", "table2", "table4", "sec431", "sec432", "sec433", "sec434", "passthrough", "multirule"} {
 			fmt.Printf("==== %s ====\n", n)
 			cmds[n](*seed, *scale)
 			fmt.Println()
@@ -117,6 +119,16 @@ func sec433(seed int64, _ float64) {
 func sec434(seed int64, _ float64) {
 	fmt.Println("Section 4.3.4: UDP address corruption / checksum evasion")
 	fmt.Print(campaign.FormatSec434(campaign.RunSec434(campaign.Sec434Options{Seed: seed})))
+}
+
+func multirule(seed int64, _ float64) {
+	fmt.Println("Multi-target address corruption via the rule engine (one pass, one rule set)")
+	res := campaign.RunMultiRule(campaign.MultiRuleOptions{Seed: seed})
+	fmt.Print(campaign.FormatMultiRule(res))
+	ent := synth.RuleEngineEntity(res.DFAStates, res.DFAStates*512, res.RulesArmed)
+	est := ent.Estimate()
+	fmt.Printf("estimated FPGA cost of this rule set: %d gates, %d FGs, %d muxes, %d DFFs\n",
+		est.Gates, est.FunctionGenerators, est.Multiplexors, est.DFlipFlops)
 }
 
 func passthrough(seed int64, scale float64) {

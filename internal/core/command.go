@@ -24,7 +24,15 @@ import (
 //	INJECT                        inject now (next even clock cycle)
 //	STAT                          report chars/matches/injections
 //	CAP                           report completed capture events
-//	RESET                         clear configuration and statistics
+//	RESET                         clear configuration, rules and statistics
+//
+// The multi-rule trigger engine (internal/rules) is programmed with the
+// RULE family (see command_rules.go for the grammar):
+//
+//	RULE ADD <id> [PRIO <p>] [MODE <m>] [ACT <a>] PAT <e...> [VEC <e...>]
+//	RULE DEL <id>                 remove one rule
+//	RULE LIST                     list rules with match/fire counters
+//	RULE CLEAR                    remove all rules
 //
 // A window entry e is one of:
 //
@@ -217,7 +225,11 @@ func (c *CommandDecoder) exec(line string) (string, error) {
 
 	case "STAT":
 		chars, matches, inj := eng.Stats()
-		return fmt.Sprintf("STAT dir=%v chars=%d matches=%d injections=%d", c.dir, chars, matches, inj), nil
+		return fmt.Sprintf("STAT dir=%v chars=%d matches=%d injections=%d rules=%d dropped=%d",
+			c.dir, chars, matches, inj, len(eng.Rules()), eng.DroppedChars()), nil
+
+	case "RULE":
+		return c.execRule(fields[1:], eng)
 
 	case "CAP":
 		events := eng.Capture().Events()
@@ -233,6 +245,7 @@ func (c *CommandDecoder) exec(line string) (string, error) {
 
 	case "RESET":
 		eng.Configure(Config{})
+		eng.ClearRules()
 		eng.Capture().Reset()
 		return "", nil
 

@@ -124,6 +124,97 @@ func TestCommandErrors(t *testing.T) {
 	}
 }
 
+func TestCommandMalformedHexRejected(t *testing.T) {
+	// Every entry parser must reject malformed hex with ERR, and a failed
+	// command must leave the register file untouched (the decoder builds
+	// the new configuration aside and only commits on full success).
+	dev, dec := newTestDecoder(t)
+	for _, cmd := range []string{
+		"COMPARE ZZ -- -- --",  // bad plain data byte
+		"COMPARE 1 -- -- --",   // one hex digit
+		"COMPARE 123 -- -- --", // three digits, no known prefix
+		"COMPARE CGG -- -- --", // control prefix, bad hex
+		"COMPARE XQ9 -- -- --", // data-only prefix, bad hex
+		"CORRUPT TOGGLE !ZZ -- -- --",
+		"CORRUPT TOGGLE Q9 -- -- --",
+		"CORRUPT REPLACE XZZ -- -- --",
+		"CORRUPT REPLACE !0F -- -- --", // toggle syntax in replace mode
+		"RULE ADD 1 PAT ZZ",
+		"RULE ADD 1 ACT TOGGLE PAT 55 VEC !GG",
+		"RULE ADD 1 ACT REPLACE PAT 55 VEC XZZ",
+	} {
+		if resp := dec.Exec(cmd); !strings.HasPrefix(resp, "ERR") {
+			t.Errorf("%q -> %q, want ERR", cmd, resp)
+		}
+	}
+	eng := dev.Engine(LeftToRight)
+	if eng.Config() != (Config{}) {
+		t.Errorf("failed commands mutated the register file: %+v", eng.Config())
+	}
+	if len(eng.Rules()) != 0 {
+		t.Errorf("failed RULE ADD left rules installed: %+v", eng.Rules())
+	}
+}
+
+func TestCommandRuleGrammarErrors(t *testing.T) {
+	dev, dec := newTestDecoder(t)
+	for _, cmd := range []string{
+		"RULE",                       // missing subcommand
+		"RULE BOGUS",                 // unknown subcommand
+		"RULE ADD",                   // missing id
+		"RULE ADD X PAT 55",          // bad id
+		"RULE ADD -1 PAT 55",         // negative id
+		"RULE ADD 1",                 // no PAT
+		"RULE ADD 1 PAT G2 55",       // gap before the first entry
+		"RULE ADD 1 PAT 55 G2",       // trailing gap
+		"RULE ADD 1 PAT 55 G1 G1 55", // consecutive gaps
+		"RULE ADD 1 PAT 55 G0 55",    // zero gap token
+		"RULE ADD 1 PAT 55 G33 55",   // gap beyond MaxGap (engine limit)
+		"RULE ADD 1 MODE AFTER:X PAT 55",
+		"RULE ADD 1 MODE MAYBE PAT 55",
+		"RULE ADD 1 ACT SCRAMBLE PAT 55",
+		"RULE ADD 1 ACT DROP:0 PAT 55",
+		"RULE ADD 1 ACT TOGGLE PAT 55", // vectored action without VEC
+		"RULE ADD 1 PAT 55 VEC 0F",     // VEC on capture-only
+		"RULE ADD 1 FROB 3 PAT 55",     // unknown keyword
+		"RULE DEL",                     // missing id
+		"RULE DEL 7",                   // no such rule
+	} {
+		if resp := dec.Exec(cmd); !strings.HasPrefix(resp, "ERR") {
+			t.Errorf("%q -> %q, want ERR", cmd, resp)
+		}
+	}
+	if rs := dev.Engine(LeftToRight).Rules(); len(rs) != 0 {
+		t.Errorf("failed RULE commands left rules installed: %+v", rs)
+	}
+}
+
+func TestCommandOverlongLineRejected(t *testing.T) {
+	// Bytes past the line buffer are discarded, so an overlong command
+	// executes as its truncated (and thus unknown) prefix — ERR, no state
+	// change, and the decoder keeps working afterwards.
+	dev, dec := newTestDecoder(t)
+	var out []byte
+	dec.SetOutput(func(b byte) { out = append(out, b) })
+	long := "MODE " + strings.Repeat("N", maxLineLen) + " ON\n"
+	for _, b := range []byte(long) {
+		dec.InputByte(b)
+	}
+	if resp := strings.TrimSpace(string(out)); !strings.HasPrefix(resp, "ERR") {
+		t.Errorf("overlong line -> %q, want ERR", resp)
+	}
+	if dev.Engine(LeftToRight).Config() != (Config{}) {
+		t.Error("overlong line mutated the register file")
+	}
+	out = out[:0]
+	for _, b := range []byte("MODE ON\n") {
+		dec.InputByte(b)
+	}
+	if strings.TrimSpace(string(out)) != "OK" {
+		t.Errorf("decoder wedged after overlong line: %q", out)
+	}
+}
+
 func TestCommandStatAndReset(t *testing.T) {
 	dev, dec := newTestDecoder(t)
 	eng := dev.Engine(LeftToRight)

@@ -22,6 +22,7 @@ import (
 
 	"netfi/internal/bitstream"
 	"netfi/internal/phy"
+	"netfi/internal/rules"
 )
 
 // WindowSize is the compare window in characters — the paper's 32-bit
@@ -110,10 +111,13 @@ type Config struct {
 }
 
 // fifoEntry is one FIFO slot: the character plus a corrupted flag used by
-// the CRC-recompute logic to know the packet in flight was injected.
+// the CRC-recompute logic to know the packet in flight was injected, and a
+// dropped flag set by rule-engine drop actions — dropped slots are skipped
+// (not retransmitted) when they reach the FIFO head.
 type fifoEntry struct {
 	ch        phy.Character
 	corrupted bool
+	dropped   bool
 }
 
 // Engine is one direction's FIFO injector. It is clocked per character:
@@ -139,6 +143,13 @@ type Engine struct {
 	onceDone  bool
 	injectNow bool
 
+	// Rule-engine path (internal/rules): an optional compiled multi-rule
+	// trigger program evaluated per character beside the legacy
+	// single-pattern compare. Nil ruleExec disables the path.
+	ruleList []rules.Rule
+	ruleProg *rules.Program
+	ruleExec *rules.Executor
+
 	// CRC recompute state (output side).
 	runningCRC      byte
 	packetCorrupted bool
@@ -147,6 +158,7 @@ type Engine struct {
 	chars      uint64
 	matches    uint64
 	injections uint64
+	dropped    uint64
 
 	capture *CaptureRing
 }
@@ -223,22 +235,27 @@ func (e *Engine) Stats() (chars, matches, injections uint64) {
 	return e.chars, e.matches, e.injections
 }
 
+// DroppedChars reports how many characters rule drop actions deleted from
+// the retransmitted stream.
+func (e *Engine) DroppedChars() uint64 { return e.dropped }
+
 // Process clocks the engine over a burst of input characters and returns
 // the characters released downstream. The engine holds back its slack, so
 // output lags input by exactly the pipeline depth.
 func (e *Engine) Process(chars []phy.Character) []phy.Character {
 	out := make([]phy.Character, 0, len(chars))
 	for _, c := range chars {
-		// Odd cycle: pull first (frees a slot), then push + shift.
-		if e.count > e.slack {
-			out = append(out, e.pop())
-		}
+		// Odd cycle: push + shift (the FIFO always has room — the drain
+		// below keeps count at the slack level).
 		e.push(c)
-		// Even cycle: compare result available; corrupt in FIFO.
+		// Even cycle: compare result available; corrupt/drop in FIFO.
 		e.evenCycle()
-		// Steady-state pull so output rate tracks input rate.
+		// Steady-state pull so output rate tracks input rate; dropped
+		// slots leave the FIFO without being retransmitted.
 		for e.count > e.slack {
-			out = append(out, e.pop())
+			if ch, ok := e.popOne(); ok {
+				out = append(out, ch)
+			}
 		}
 	}
 	return out
@@ -249,7 +266,9 @@ func (e *Engine) Process(chars []phy.Character) []phy.Character {
 func (e *Engine) Flush() []phy.Character {
 	out := make([]phy.Character, 0, e.count)
 	for e.count > 0 {
-		out = append(out, e.pop())
+		if ch, ok := e.popOne(); ok {
+			out = append(out, ch)
+		}
 	}
 	e.resetWindow()
 	return out
@@ -277,11 +296,18 @@ func (e *Engine) push(c phy.Character) {
 	e.capture.Observe(c)
 }
 
-func (e *Engine) pop() phy.Character {
+// popOne retires the FIFO head. ok is false when the slot was deleted by a
+// drop action; deletion marks the packet corrupted so CRC recompute covers
+// it like any other injection.
+func (e *Engine) popOne() (phy.Character, bool) {
 	entry := e.fifo[e.head]
 	e.head = (e.head + 1) % len(e.fifo)
 	e.count--
 
+	if entry.dropped {
+		e.packetCorrupted = true
+		return 0, false
+	}
 	c := entry.ch
 	if entry.corrupted {
 		e.packetCorrupted = true
@@ -290,7 +316,7 @@ func (e *Engine) pop() phy.Character {
 		// GAP (or any control symbol) resets per-packet CRC state.
 		e.runningCRC = 0
 		e.packetCorrupted = false
-		return c
+		return c, true
 	}
 	if e.cfg.RecomputeCRC && e.packetCorrupted && e.nextIsGap() {
 		// This is the trailing CRC position: substitute the CRC of the
@@ -298,25 +324,36 @@ func (e *Engine) pop() phy.Character {
 		// CRC value to transmit immediately before the end-of-frame
 		// character" (§3.2).
 		c = phy.DataChar(e.runningCRC)
-		return c
+		return c, true
 	}
 	e.runningCRC = bitstream.CRC8Update(e.runningCRC, c.Byte())
-	return c
+	return c, true
 }
 
-// nextIsGap peeks whether the next FIFO character ends the packet. The
-// pipeline slack guarantees at least one character of lookahead whenever
-// pop is allowed.
+// nextIsGap peeks whether the next retransmitted FIFO character ends the
+// packet, skipping dropped slots. The pipeline slack guarantees at least one
+// character of lookahead whenever pop is allowed.
 func (e *Engine) nextIsGap() bool {
-	if e.count == 0 {
-		return false
+	for i := 0; i < e.count; i++ {
+		entry := e.fifo[(e.head+i)%len(e.fifo)]
+		if entry.dropped {
+			continue
+		}
+		c := entry.ch
+		return !c.IsData() && c.Byte() == 0x0C // Myrinet GAP
 	}
-	c := e.fifo[e.head].ch
-	return !c.IsData() && c.Byte() == 0x0C // Myrinet GAP
+	return false
 }
 
 // evenCycle evaluates the compare and performs the injection.
 func (e *Engine) evenCycle() {
+	// Rule-engine path: step the compiled automaton on the character just
+	// pushed and apply any fired rules' actions to the FIFO.
+	if e.ruleExec != nil {
+		if fired := e.ruleExec.Step(uint16(e.window[WindowSize-1].ch) & rules.SymbolMask); fired != 0 {
+			e.applyRuleActions(fired)
+		}
+	}
 	trigger := e.injectNow
 	e.injectNow = false
 	if !trigger && e.compare() {

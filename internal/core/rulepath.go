@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"netfi/internal/phy"
+	"netfi/internal/rules"
+)
+
+// This file is the bridge between the programmable rule engine
+// (internal/rules) and the FIFO datapath: rule management (the RULE command
+// family lands here) and the application of fired rules' corrupt vectors to
+// the queued stream tail.
+//
+// Vector alignment: a fired rule's corrupt vector (or drop count) applies to
+// the newest len(vector) characters of the stream — rightmost vector entry
+// on the character that completed the match — so a one-entry vector hits
+// exactly the matching character, like the legacy single-pattern corrupt
+// hits its own compare window. Vectors are therefore bounded by WindowSize:
+// older characters have left the compare register and their FIFO slots are
+// no longer addressable, exactly as in the hardware.
+
+// RuleFromConfig expresses the legacy single-pattern register file as an
+// equivalent one-rule set: the compare window becomes a gap-free 4-step
+// sequence and the corrupt vector keeps its per-position alignment. The two
+// paths agree once the compare register has shifted past its idle fill
+// (the automaton consumes only real stream symbols).
+func RuleFromConfig(id int, cfg Config) rules.Rule {
+	r := rules.Rule{ID: id}
+	switch cfg.Match {
+	case MatchOn:
+		r.Mode = rules.ModeOn
+	case MatchOnce:
+		r.Mode = rules.ModeOnce
+	default:
+		r.Mode = rules.ModeOff
+	}
+	for i := 0; i < WindowSize; i++ {
+		r.Steps = append(r.Steps, rules.Step{
+			Sym:  uint16(cfg.CompareData[i]) & rules.SymbolMask,
+			Mask: uint16(cfg.CompareMask[i]) & rules.SymbolMask,
+		})
+	}
+	if cfg.Corrupt == CorruptToggle {
+		r.Action = rules.ActionToggle
+		for i := 0; i < WindowSize; i++ {
+			r.CorruptData = append(r.CorruptData, uint16(cfg.CorruptData[i])&rules.SymbolMask)
+		}
+	} else {
+		r.Action = rules.ActionReplace
+		for i := 0; i < WindowSize; i++ {
+			r.CorruptData = append(r.CorruptData, uint16(cfg.CorruptData[i])&rules.SymbolMask)
+			r.CorruptMask = append(r.CorruptMask, uint16(cfg.CorruptMask[i])&rules.SymbolMask)
+		}
+	}
+	return r
+}
+
+// AddRule validates r against both the rule-engine limits and the datapath
+// window, recompiles the rule set with r added (replacing any existing rule
+// with the same ID, preserving its position), and installs the result.
+// Recompiling re-arms every rule: counters, once latches and window clocks
+// restart, as reloading the hardware's rule memory would.
+func (e *Engine) AddRule(r rules.Rule) error {
+	if len(r.CorruptData) > WindowSize {
+		return fmt.Errorf("core: rule %d corrupt vector length %d exceeds window size %d", r.ID, len(r.CorruptData), WindowSize)
+	}
+	if r.Action == rules.ActionDrop && r.DropCount > WindowSize {
+		return fmt.Errorf("core: rule %d drop count %d exceeds window size %d", r.ID, r.DropCount, WindowSize)
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	list := make([]rules.Rule, 0, len(e.ruleList)+1)
+	replaced := false
+	for _, old := range e.ruleList {
+		if old.ID == r.ID {
+			list = append(list, r)
+			replaced = true
+		} else {
+			list = append(list, old)
+		}
+	}
+	if !replaced {
+		list = append(list, r)
+	}
+	prog, err := rules.Compile(list, rules.Options{})
+	if err != nil {
+		return err
+	}
+	e.installRules(list, prog)
+	return nil
+}
+
+// DeleteRule removes the rule with the given ID, reporting whether it
+// existed. The remaining set is recompiled and re-armed.
+func (e *Engine) DeleteRule(id int) bool {
+	list := make([]rules.Rule, 0, len(e.ruleList))
+	for _, r := range e.ruleList {
+		if r.ID != id {
+			list = append(list, r)
+		}
+	}
+	if len(list) == len(e.ruleList) {
+		return false
+	}
+	if len(list) == 0 {
+		e.installRules(nil, nil)
+		return true
+	}
+	prog, err := rules.Compile(list, rules.Options{})
+	if err != nil {
+		// Cannot happen: every rule in the subset already compiled.
+		return false
+	}
+	e.installRules(list, prog)
+	return true
+}
+
+// ClearRules removes the whole rule set, disabling the rule-engine path.
+func (e *Engine) ClearRules() { e.installRules(nil, nil) }
+
+// Rules returns the installed rule set in evaluation order. Read-only.
+func (e *Engine) Rules() []rules.Rule { return e.ruleList }
+
+// RuleProgram returns the compiled program, nil when no rules are installed.
+func (e *Engine) RuleProgram() *rules.Program { return e.ruleProg }
+
+// RuleCounters reports the match and (mode-gated) fire counters of the rule
+// with the given ID.
+func (e *Engine) RuleCounters(id int) (matches, fires uint64, ok bool) {
+	if e.ruleExec == nil {
+		return 0, 0, false
+	}
+	for i := range e.ruleList {
+		if e.ruleList[i].ID == id {
+			m, f := e.ruleExec.Counters(i)
+			return m, f, true
+		}
+	}
+	return 0, 0, false
+}
+
+// SetRuleProgram installs an externally compiled program directly, bypassing
+// the per-rule AddRule path — the campaign and benchmark entry point. The
+// program's rules must respect the WindowSize vector bound; nil uninstalls.
+func (e *Engine) SetRuleProgram(p *rules.Program) {
+	if p == nil {
+		e.installRules(nil, nil)
+		return
+	}
+	e.installRules(append([]rules.Rule(nil), p.Rules()...), p)
+}
+
+// installRules swaps in a compiled rule set and arms a fresh executor.
+func (e *Engine) installRules(list []rules.Rule, prog *rules.Program) {
+	e.ruleList = list
+	e.ruleProg = prog
+	if prog != nil {
+		e.ruleExec = rules.NewExecutor(prog)
+	} else {
+		e.ruleExec = nil
+	}
+}
+
+// applyRuleActions applies the fired rules' datapath effects. Corruptions
+// are applied in ascending priority so the highest-priority rule's bytes
+// land last and win conflicts on the same character; one capture mark and
+// one injection are counted per clock cycle that changed the stream,
+// however many rules fired together.
+func (e *Engine) applyRuleActions(fired uint64) {
+	var order [rules.MaxRules]int
+	n := 0
+	for set := fired; set != 0; set &= set - 1 {
+		order[n] = bits.TrailingZeros64(set)
+		n++
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && e.ruleList[order[j]].Priority < e.ruleList[order[j-1]].Priority; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	injected := false
+	for k := 0; k < n; k++ {
+		r := &e.ruleList[order[k]]
+		switch r.Action {
+		case rules.ActionCapture:
+			// Counted by the executor; the capture ring is marked below
+			// only when the stream actually changed, so a capture-only
+			// rule observes without perturbing.
+		case rules.ActionToggle, rules.ActionReplace:
+			l := len(r.CorruptData)
+			for v := 0; v < l; v++ {
+				w := e.window[WindowSize-l+v]
+				if w.pos < 0 {
+					continue // idle fill: nothing queued to hit
+				}
+				entry := &e.fifo[w.pos]
+				orig := entry.ch
+				if r.Action == rules.ActionToggle {
+					entry.ch = orig ^ phy.Character(r.CorruptData[v])&phy.Character(MaskFull)
+				} else {
+					m := phy.Character(r.CorruptMask[v])
+					entry.ch = orig&^m | phy.Character(r.CorruptData[v])&m
+				}
+				if entry.ch != orig {
+					entry.corrupted = true
+					injected = true
+				}
+			}
+		case rules.ActionDrop:
+			for v := 0; v < r.DropCount; v++ {
+				w := e.window[WindowSize-1-v]
+				if w.pos < 0 {
+					continue
+				}
+				entry := &e.fifo[w.pos]
+				if !entry.dropped {
+					entry.dropped = true
+					e.dropped++
+					injected = true
+				}
+			}
+		}
+	}
+	if injected {
+		e.injections++
+		e.capture.MarkInjection()
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netfi/internal/bitstream"
+	"netfi/internal/phy"
+	"netfi/internal/rules"
+)
+
+// oneStepRule builds a single-step full-mask data-byte rule.
+func oneStepRule(id int, b byte, act rules.Action) rules.Rule {
+	return rules.Rule{
+		ID:     id,
+		Mode:   rules.ModeOn,
+		Action: act,
+		Steps:  []rules.Step{{Sym: 0x100 | uint16(b), Mask: rules.SymbolMask}},
+	}
+}
+
+func TestEngineRuleToggle(t *testing.T) {
+	e := NewEngine(DefaultSlackChars)
+	r := oneStepRule(1, 0x55, rules.ActionToggle)
+	r.CorruptData = []uint16{0x0F}
+	if err := e.AddRule(r); err != nil {
+		t.Fatal(err)
+	}
+	out := bytesOf(runThrough(e, dataChars([]byte{0x11, 0x55, 0x22, 0x55})))
+	want := []byte{0x11, 0x5A, 0x22, 0x5A}
+	if !bytes.Equal(out, want) {
+		t.Errorf("out % X, want % X", out, want)
+	}
+	if m, f, ok := e.RuleCounters(1); !ok || m != 2 || f != 2 {
+		t.Errorf("counters = %d/%d ok=%v, want 2/2 true", m, f, ok)
+	}
+	if _, _, inj := e.Stats(); inj != 2 {
+		t.Errorf("injections = %d, want 2", inj)
+	}
+}
+
+func TestEngineRuleReplacePriority(t *testing.T) {
+	// Two replace rules fire on the same character; the higher-priority
+	// one's byte must land last and win.
+	e := NewEngine(DefaultSlackChars)
+	lo := oneStepRule(1, 0x55, rules.ActionReplace)
+	lo.Priority = 1
+	lo.CorruptData = []uint16{0x1AA}
+	lo.CorruptMask = []uint16{uint16(MaskData)}
+	hi := oneStepRule(2, 0x55, rules.ActionReplace)
+	hi.Priority = 9
+	hi.CorruptData = []uint16{0x1BB}
+	hi.CorruptMask = []uint16{uint16(MaskData)}
+	for _, r := range []rules.Rule{hi, lo} { // install order must not matter
+		if err := e.AddRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := bytesOf(runThrough(e, dataChars([]byte{0x55})))
+	if !bytes.Equal(out, []byte{0xBB}) {
+		t.Errorf("out % X, want BB (priority 9 wins)", out)
+	}
+}
+
+func TestEngineRuleDrop(t *testing.T) {
+	e := NewEngine(DefaultSlackChars)
+	r := oneStepRule(1, 0x55, rules.ActionDrop)
+	r.DropCount = 2 // the matching character and its predecessor
+	if err := e.AddRule(r); err != nil {
+		t.Fatal(err)
+	}
+	out := bytesOf(runThrough(e, dataChars([]byte{0x11, 0x22, 0x55, 0x33})))
+	want := []byte{0x11, 0x33}
+	if !bytes.Equal(out, want) {
+		t.Errorf("out % X, want % X", out, want)
+	}
+	if d := e.DroppedChars(); d != 2 {
+		t.Errorf("DroppedChars = %d, want 2", d)
+	}
+}
+
+func TestEngineRuleGapSequence(t *testing.T) {
+	// A0 then B0 within two characters, replacing B0.
+	e := NewEngine(DefaultSlackChars)
+	r := rules.Rule{
+		ID: 1, Mode: rules.ModeOn, Action: rules.ActionReplace,
+		Steps: []rules.Step{
+			{Sym: 0x1A0, Mask: rules.SymbolMask},
+			{Sym: 0x1B0, Mask: rules.SymbolMask, Gap: 2},
+		},
+		CorruptData: []uint16{0x1EE},
+		CorruptMask: []uint16{uint16(MaskData)},
+	}
+	if err := e.AddRule(r); err != nil {
+		t.Fatal(err)
+	}
+	out := bytesOf(runThrough(e, dataChars([]byte{
+		0xA0, 0x01, 0xB0, // gap 1: fires, B0 -> EE
+		0xA0, 0x01, 0x02, 0x03, 0xB0, // gap 3: silent
+	})))
+	want := []byte{0xA0, 0x01, 0xEE, 0xA0, 0x01, 0x02, 0x03, 0xB0}
+	if !bytes.Equal(out, want) {
+		t.Errorf("out % X, want % X", out, want)
+	}
+}
+
+func TestEngineRuleMatchesLegacyConfig(t *testing.T) {
+	// The legacy register file, expressed as a one-rule set, must corrupt
+	// the stream identically once the window has shifted past idle fill.
+	cfg := Config{
+		Match: MatchOn,
+		CompareData: [WindowSize]phy.Character{
+			phy.DataChar(0x18), phy.DataChar(0x19), 0, 0,
+		},
+		CompareMask: [WindowSize]CharMask{MaskFull, MaskFull, MaskNone, MaskNone},
+		Corrupt:     CorruptToggle,
+		CorruptData: [WindowSize]phy.Character{0, 0x40, 0, 0},
+	}
+	stream := dataChars([]byte{
+		0x01, 0x02, 0x03, 0x04, 0x18, 0x19, 0x05, 0x06, 0x18, 0x19, 0x07, 0x08,
+	})
+
+	legacy := NewEngine(DefaultSlackChars)
+	legacy.Configure(cfg)
+	wantOut := runThrough(legacy, stream)
+
+	ruled := NewEngine(DefaultSlackChars)
+	if err := ruled.AddRule(RuleFromConfig(1, cfg)); err != nil {
+		t.Fatal(err)
+	}
+	gotOut := runThrough(ruled, stream)
+
+	if !bytes.Equal(bytesOf(gotOut), bytesOf(wantOut)) {
+		t.Errorf("rule path % X\nlegacy    % X", bytesOf(gotOut), bytesOf(wantOut))
+	}
+	_, legacyMatches, _ := legacy.Stats()
+	m, _, _ := ruled.RuleCounters(1)
+	if m != legacyMatches {
+		t.Errorf("rule matches %d, legacy matches %d", m, legacyMatches)
+	}
+}
+
+func TestEngineRuleDropWithCRCRecompute(t *testing.T) {
+	// Dropping a payload byte must mark the packet corrupted so the
+	// recomputed CRC covers the deletion.
+	e := NewEngine(DefaultSlackChars)
+	e.Configure(Config{RecomputeCRC: true})
+	r := oneStepRule(1, 0x55, rules.ActionDrop)
+	r.DropCount = 1
+	if err := e.AddRule(r); err != nil {
+		t.Fatal(err)
+	}
+	in := []phy.Character{
+		phy.DataChar(0x01), phy.DataChar(0x55), phy.DataChar(0x02),
+		phy.DataChar(0xAA), // stale CRC position
+		phy.ControlChar(0x0C),
+	}
+	out := runThrough(e, in)
+	if len(out) != 4 {
+		t.Fatalf("out %d chars, want 4 (one dropped)", len(out))
+	}
+	want := bitstream.CRC8Update(bitstream.CRC8Update(0, 0x01), 0x02)
+	if got := out[2].Byte(); got != want {
+		t.Errorf("trailing CRC %02X, want %02X (CRC of the stream as retransmitted)", got, want)
+	}
+}
+
+func TestEngineRuleManagement(t *testing.T) {
+	e := NewEngine(DefaultSlackChars)
+	if err := e.AddRule(oneStepRule(1, 0x10, rules.ActionCapture)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRule(oneStepRule(2, 0x20, rules.ActionCapture)); err != nil {
+		t.Fatal(err)
+	}
+	// Replacing rule 1 keeps its position and the set size.
+	repl := oneStepRule(1, 0x30, rules.ActionCapture)
+	if err := e.AddRule(repl); err != nil {
+		t.Fatal(err)
+	}
+	if rs := e.Rules(); len(rs) != 2 || rs[0].ID != 1 || rs[0].Steps[0].Sym != 0x130 {
+		t.Fatalf("rules after replace: %+v", rs)
+	}
+	if !e.DeleteRule(2) || e.DeleteRule(2) {
+		t.Error("DeleteRule existence reporting broken")
+	}
+	if _, _, ok := e.RuleCounters(2); ok {
+		t.Error("deleted rule still has counters")
+	}
+	e.ClearRules()
+	if e.RuleProgram() != nil || len(e.Rules()) != 0 {
+		t.Error("ClearRules left state behind")
+	}
+	// Oversized vectors are rejected before reaching the compiler.
+	bad := oneStepRule(3, 0x40, rules.ActionToggle)
+	bad.CorruptData = make([]uint16, WindowSize+1)
+	if err := e.AddRule(bad); err == nil {
+		t.Error("AddRule accepted a vector longer than the window")
+	}
+	bad = oneStepRule(4, 0x40, rules.ActionDrop)
+	bad.DropCount = WindowSize + 1
+	if err := e.AddRule(bad); err == nil {
+		t.Error("AddRule accepted a drop count longer than the window")
+	}
+}
+
+func TestRuleCommands(t *testing.T) {
+	dev, dec := newTestDecoder(t)
+
+	for _, cmd := range []string{
+		"RULE ADD 1 PRIO 2 MODE ONCE ACT TOGGLE PAT 55 VEC 0F",
+		"RULE ADD 2 ACT REPLACE PAT a0 g2 b0 VEC x77",
+		"RULE ADD 3 MODE AFTER:1 ACT DROP:2 PAT c0c",
+		"RULE ADD 4 PAT -- 23 28",
+	} {
+		if resp := dec.Exec(cmd); resp != "OK" {
+			t.Fatalf("%q -> %q", cmd, resp)
+		}
+	}
+	list := dec.Exec("RULE LIST")
+	if !strings.Contains(list, "count=4") || !strings.Contains(list, "mode=dfa") {
+		t.Errorf("RULE LIST = %q", list)
+	}
+	for _, want := range []string{
+		"RULE[1] prio=2 mode=ONCE act=TOGGLE steps=1",
+		"RULE[2] prio=0 mode=ON act=REPLACE steps=2",
+		"RULE[3] prio=0 mode=AFTER act=DROP steps=1",
+		"RULE[4] prio=0 mode=ON act=CAP steps=3",
+	} {
+		if !strings.Contains(list, want) {
+			t.Errorf("RULE LIST missing %q in %q", want, list)
+		}
+	}
+	if stat := dec.Exec("STAT"); !strings.Contains(stat, "rules=4") {
+		t.Errorf("STAT = %q", stat)
+	}
+	if resp := dec.Exec("RULE DEL 3"); resp != "OK" {
+		t.Errorf("RULE DEL -> %q", resp)
+	}
+	if resp := dec.Exec("RULE DEL 3"); !strings.HasPrefix(resp, "ERR") {
+		t.Errorf("deleting a missing rule -> %q", resp)
+	}
+	if resp := dec.Exec("RESET"); resp != "OK" {
+		t.Errorf("RESET -> %q", resp)
+	}
+	if list := dec.Exec("RULE LIST"); !strings.Contains(list, "count=0") {
+		t.Errorf("RESET did not clear rules: %q", list)
+	}
+
+	// The armed rules act on the datapath: toggle via the serial path.
+	if resp := dec.Exec("RULE ADD 7 ACT TOGGLE PAT 55 VEC 0F"); resp != "OK" {
+		t.Fatalf("re-arm -> %q", resp)
+	}
+	eng := dev.Engine(dec.Direction())
+	out := bytesOf(runThrough(eng, dataChars([]byte{0x55})))
+	if !bytes.Equal(out, []byte{0x5A}) {
+		t.Errorf("serial-armed toggle: out % X, want 5A", out)
+	}
+}

@@ -1,0 +1,159 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fuzzCase derives a rule set and a symbol stream from raw bytes, compiles
+// the set twice (DFA under a tight budget, so fallback is exercised too,
+// and forced lanes), runs both over the stream, and checks every fire mask
+// against the naive reference matcher. The compiler must never panic: raw
+// field values are taken from the bytes with only light shaping, so invalid
+// rules (bad gaps, overlong vectors) reach Validate regularly and must come
+// back as errors.
+type byteCursor struct {
+	data []byte
+	pos  int
+}
+
+func (c *byteCursor) next() byte {
+	if c.pos >= len(c.data) {
+		c.pos++
+		return byte(c.pos * 37) // deterministic tail when input runs dry
+	}
+	b := c.data[c.pos]
+	c.pos++
+	return b
+}
+
+// fuzzMasks keeps the don't-care classes small enough (≥5 significant bits)
+// that subset construction stays fast under thousands of cases; the zero
+// mask is the full wildcard step.
+var fuzzMasks = []uint16{SymbolMask, 0x0FF, 0x17F, 0x1F3, 0x1F0, 0}
+
+// buildFuzzRules shapes bytes into 1..4 rules. Roughly one rule in eight
+// comes out invalid (gap out of range), exercising the error path.
+func buildFuzzRules(c *byteCursor) []Rule {
+	nRules := 1 + int(c.next()%4)
+	rs := make([]Rule, 0, nRules)
+	for i := 0; i < nRules; i++ {
+		r := Rule{ID: i, Mode: ModeOn, Action: ActionCapture}
+		nSteps := 1 + int(c.next()%4)
+		for j := 0; j < nSteps; j++ {
+			s := Step{
+				Sym:  uint16(c.next()) | uint16(c.next()&1)<<8,
+				Mask: fuzzMasks[int(c.next())%len(fuzzMasks)],
+			}
+			if j > 0 {
+				// Mostly small gaps; occasionally unbounded or (invalid)
+				// past MaxGap.
+				switch g := int(c.next() % 16); {
+				case g < 10:
+					s.Gap = g % 4
+				case g < 13:
+					s.Gap = GapUnbounded
+				case g < 15:
+					s.Gap = g // 13..14: valid mid-range
+				default:
+					s.Gap = MaxGap + 3 // invalid
+				}
+			}
+			r.Steps = append(r.Steps, s)
+		}
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+// buildFuzzStream emits symbols biased toward the rules' step symbols so
+// matches actually happen.
+func buildFuzzStream(c *byteCursor, rs []Rule, n int) []uint16 {
+	var pool []uint16
+	for _, r := range rs {
+		for _, s := range r.Steps {
+			pool = append(pool, s.Sym)
+		}
+	}
+	stream := make([]uint16, n)
+	for i := range stream {
+		b := c.next()
+		if b&1 == 0 && len(pool) > 0 {
+			stream[i] = pool[int(b>>1)%len(pool)]
+		} else {
+			stream[i] = uint16(b) | uint16(c.next()&1)<<8
+		}
+	}
+	return stream
+}
+
+// checkFuzzCase is the shared oracle for FuzzRuleCompile and the fixed
+// 10k-case CI sweep.
+func checkFuzzCase(t *testing.T, data []byte) {
+	c := &byteCursor{data: data}
+	rs := buildFuzzRules(c)
+
+	dfa, errD := Compile(rs, Options{MaxDFAStates: 64})
+	lanes, errL := Compile(rs, Options{ForceLanes: true})
+	if (errD == nil) != (errL == nil) {
+		t.Fatalf("compile disagreement: dfa err=%v, lanes err=%v", errD, errL)
+	}
+	if errD != nil {
+		return // invalid rule set: rejected without panicking, done
+	}
+
+	stream := buildFuzzStream(c, rs, 48)
+	ed, el := NewExecutor(dfa), NewExecutor(lanes)
+	for p, sym := range stream {
+		fd, fl := ed.Step(sym), el.Step(sym)
+		if fd != fl {
+			t.Fatalf("pos %d: dfa fired %#x, lanes fired %#x (stats %+v)", p, fd, fl, dfa.Stats())
+		}
+		var ref uint64
+		for i := range rs {
+			if MatchesAt(&rs[i], stream, p) {
+				ref |= 1 << uint(i)
+			}
+		}
+		if fd != ref {
+			t.Fatalf("pos %d: compiled fired %#x, reference %#x\nrules: %+v\nstream: %v",
+				p, fd, ref, rs, stream[:p+1])
+		}
+	}
+}
+
+// FuzzRuleCompile asserts the compiler never panics and that compiled
+// execution (both DFA and lane fallback) agrees with the reference matcher.
+// Run with: go test -fuzz=FuzzRuleCompile ./internal/rules
+func FuzzRuleCompile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 0x18, 1, 0xFF, 2, 0x19, 0, 0x00, 5})
+	f.Add([]byte{3, 1, 0x0C, 0, 1, 1, 0x0F, 3, 12, 2, 0x40, 2, 15, 7, 7, 7})
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 16; i++ {
+		buf := make([]byte, 8+rng.Intn(56))
+		rng.Read(buf)
+		f.Add(buf)
+	}
+	f.Fuzz(checkFuzzCase)
+}
+
+// TestRuleCompileEquivalence10k is the CI-mode form of the fuzz target: ten
+// thousand seeded random cases through the same oracle, so every ordinary
+// `go test` run re-proves DFA/lane/reference agreement without the fuzzing
+// engine.
+func TestRuleCompileEquivalence10k(t *testing.T) {
+	cases := 10_000
+	if testing.Short() {
+		cases = 1_000
+	}
+	rng := rand.New(rand.NewSource(20020623)) // the paper's venue date
+	buf := make([]byte, 96)
+	for i := 0; i < cases; i++ {
+		rng.Read(buf)
+		checkFuzzCase(t, buf)
+		if t.Failed() {
+			t.Fatalf("diverged on case %d", i)
+		}
+	}
+}

@@ -206,6 +206,52 @@ func InjectorEntities() []Entity {
 	}
 }
 
+// RuleEngineEntity builds the structural inventory of the multi-rule
+// trigger engine (internal/rules) sized by its compiled form, so a rule
+// set's FPGA cost can be estimated next to the paper's fixed entities. The
+// model follows the same 4-LUT accounting:
+//
+//   - the DFA transition ROM is LUT RAM: tableEntries entries of
+//     ceil(log2(dfaStates)) bits, 16 bits per 4-LUT;
+//   - the accept ROM holds one ruleCount-wide bitmask per DFA state;
+//   - the current-state register plus a 2-to-1 next-state mux (run/hold);
+//   - per rule: 16-bit match and fire counters, a mode-gating term, and
+//     the corrupt-vector register pair (data + mask, window-wide);
+//   - a priority resolver ordering concurrent fires.
+//
+// In lane mode pass dfaStates = 0 and tableEntries = the summed NFA state
+// count: each lane state then costs a compare term and a flip-flop instead
+// of ROM bits.
+func RuleEngineEntity(dfaStates, tableEntries, ruleCount int) Entity {
+	e := Entity{Name: "Rule_Engine"}
+	e.CounterBits = ruleCount * 2 * 16
+	e.RegBits = ruleCount * 2 * windowBits // corrupt data + mask banks
+	e.Logic = append(e.Logic,
+		LogicTerm{Inputs: 5, Outputs: ruleCount},         // mode gating
+		LogicTerm{Inputs: ruleCount, Outputs: ruleCount}, // priority resolver
+	)
+	if dfaStates > 0 {
+		stateBits := 1
+		for 1<<stateBits < dfaStates {
+			stateBits++
+		}
+		e.RegBits += stateBits
+		e.Logic = append(e.Logic,
+			LogicTerm{Inputs: 4, Outputs: (tableEntries*stateBits + 15) / 16}, // transition ROM
+			LogicTerm{Inputs: 4, Outputs: (dfaStates*ruleCount + 15) / 16},    // accept ROM
+		)
+		e.Muxes = append(e.Muxes, Mux{Width: stateBits, K: 2})
+	} else {
+		// NFA lanes: one flip-flop and one masked-compare term per state.
+		e.RegBits += tableEntries
+		e.Logic = append(e.Logic,
+			LogicTerm{Inputs: charBits * 2, Outputs: tableEntries}, // per-state compare
+			LogicTerm{Inputs: 3, Outputs: tableEntries},            // set-propagation OR plane
+		)
+	}
+	return e
+}
+
 // PaperTable1 holds the published synthesis results for comparison.
 var PaperTable1 = map[string]Resources{
 	"CLck_gen":    {Gates: 10, FunctionGenerators: 15, Multiplexors: 1, DFlipFlops: 11},

@@ -99,6 +99,30 @@ func TestEstimateScalesWithArchitecture(t *testing.T) {
 	}
 }
 
+func TestRuleEngineEntityScales(t *testing.T) {
+	// DFA form: more states cost more ROM LUTs and a wider state register.
+	smallEnt := RuleEngineEntity(16, 16*512, 4)
+	bigEnt := RuleEngineEntity(256, 256*512, 4)
+	moreRulesEnt := RuleEngineEntity(16, 16*512, 16)
+	small, big, moreRules := smallEnt.Estimate(), bigEnt.Estimate(), moreRulesEnt.Estimate()
+	if big.FunctionGenerators <= small.FunctionGenerators {
+		t.Errorf("transition ROM did not grow: %d -> %d FGs", small.FunctionGenerators, big.FunctionGenerators)
+	}
+	if big.DFlipFlops <= small.DFlipFlops {
+		t.Errorf("state register did not widen: %d -> %d DFFs", small.DFlipFlops, big.DFlipFlops)
+	}
+	// More rules cost more counters regardless of form.
+	if moreRules.DFlipFlops <= small.DFlipFlops {
+		t.Error("per-rule counters did not grow with rule count")
+	}
+	// Lane form trades ROM for per-state registers.
+	lanes := RuleEngineEntity(0, 40, 8)
+	lr := lanes.Estimate()
+	if lr.DFlipFlops == 0 || lr.FunctionGenerators == 0 {
+		t.Errorf("lane-mode estimate empty: %+v", lr)
+	}
+}
+
 func TestTable1Rendering(t *testing.T) {
 	out := Table1()
 	for _, name := range []string{"CLck_gen", "Comm", "Inst_dec", "Out_gen", "SPI", "FIFO_Inject", "Total"} {
