@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench check
+.PHONY: all build test bench fuzz check
 
 all: build
 
@@ -11,7 +11,10 @@ test:
 	$(GO) test ./...
 
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzRuleCompile -fuzztime=10s ./internal/rules
 
 check:
 	sh scripts/check.sh

@@ -17,10 +17,14 @@
 //	!run <ms>    advance the simulation (default 100 ms of traffic)
 //	!stats       print network counters
 //	!quit
+//
+// The -seed flag selects the simulation seed; identical seeds replay
+// identical sessions.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -31,7 +35,9 @@ import (
 )
 
 func main() {
-	tb := campaign.NewTestbed(campaign.TestbedConfig{Seed: 1})
+	seed := flag.Int64("seed", 1, "simulation seed (identical seeds replay identical sessions)")
+	flag.Parse()
+	tb := campaign.NewTestbed(campaign.TestbedConfig{Seed: *seed})
 	load := tb.StartLoad(campaign.LoadConfig{})
 	defer load.Stop()
 

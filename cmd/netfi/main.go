@@ -10,6 +10,7 @@
 //	netfi sec434       UDP checksum evasion (§4.3.4)
 //	netfi passthrough  transparency demonstration (§3.5 / Fig. 8)
 //	netfi multirule    multi-target corruption via the rule engine
+//	netfi resilience   failure-recovery campaign with outcome triage
 //	netfi all          everything above in order
 //
 // Flags:
@@ -42,7 +43,7 @@ func run(args []string) int {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: netfi [-seed N] [-scale F] <table1|table2|table4|sec431|sec432|sec433|sec434|passthrough|multirule|all>")
+		fmt.Fprintln(os.Stderr, "usage: netfi [-seed N] [-scale F] <table1|table2|table4|sec431|sec432|sec433|sec434|passthrough|multirule|resilience|all>")
 		return 2
 	}
 	cmds := map[string]func(int64, float64){
@@ -55,10 +56,11 @@ func run(args []string) int {
 		"sec434":      sec434,
 		"passthrough": passthrough,
 		"multirule":   multirule,
+		"resilience":  resilience,
 	}
 	name := fs.Arg(0)
 	if name == "all" {
-		for _, n := range []string{"table1", "table2", "table4", "sec431", "sec432", "sec433", "sec434", "passthrough", "multirule"} {
+		for _, n := range []string{"table1", "table2", "table4", "sec431", "sec432", "sec433", "sec434", "passthrough", "multirule", "resilience"} {
 			fmt.Printf("==== %s ====\n", n)
 			cmds[n](*seed, *scale)
 			fmt.Println()
@@ -129,6 +131,15 @@ func multirule(seed int64, _ float64) {
 	est := ent.Estimate()
 	fmt.Printf("estimated FPGA cost of this rule set: %d gates, %d FGs, %d muxes, %d DFFs\n",
 		est.Gates, est.FunctionGenerators, est.Multiplexors, est.DFlipFlops)
+}
+
+func resilience(seed int64, scale float64) {
+	fmt.Println("Resilience campaign: randomized injections, recovery on vs off (same seeds)")
+	res := campaign.RunResilience(campaign.ResilienceOptions{
+		Seed:   seed,
+		Trials: int(14 * scale),
+	})
+	fmt.Print(campaign.FormatResilience(res))
 }
 
 func passthrough(seed int64, scale float64) {

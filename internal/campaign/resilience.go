@@ -1,0 +1,391 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"netfi/internal/host"
+	"netfi/internal/myrinet"
+	"netfi/internal/sim"
+)
+
+// TrialOutcome classifies one resilience trial. The triage extends the paper's
+// active/passive fault split (§4.4) with the recovery layer's vocabulary:
+// how, not just whether, the network absorbed the fault.
+type TrialOutcome string
+
+const (
+	// OutcomeMasked — the fault landed (or missed) without any observable
+	// application effect: every message arrived on the first attempt.
+	OutcomeMasked TrialOutcome = "masked"
+	// OutcomeRetransmitted — the fault destroyed traffic, and the reliable
+	// transport's retry restored it end to end.
+	OutcomeRetransmitted TrialOutcome = "retransmitted"
+	// OutcomeResetRecovered — a link reset or watchdog had to break a
+	// wedged path before delivery could complete.
+	OutcomeResetRecovered TrialOutcome = "reset-recovered"
+	// OutcomeDegraded — the trial terminated but messages were lost for
+	// good (the transport gave up, or a plain-UDP run lost traffic).
+	OutcomeDegraded TrialOutcome = "degraded"
+	// OutcomeDropped — recovery-off only: messages vanished with the
+	// network itself still healthy.
+	OutcomeDropped TrialOutcome = "dropped"
+	// OutcomeHung — the paper's failure mode: a path stayed wedged, either
+	// as frozen progress or a switch output still owned after the network
+	// drained (§4.3.1's blocked-forever packet).
+	OutcomeHung TrialOutcome = "hung"
+)
+
+// ResilienceTrial records one randomized injection and its triage.
+type ResilienceTrial struct {
+	ID      int
+	Family  string
+	Command string       // the RULE ADD line armed over the serial console
+	ArmAt   sim.Duration // when the line was queued, relative to traffic start
+	Outcome TrialOutcome
+	Quiesce string // drained / stalled / deadline (from RunUntilQuiescent)
+	Elapsed sim.Duration
+
+	Sent        int
+	Delivered   uint64
+	Retransmits uint64
+	GaveUp      uint64
+	// RecoveryEvents sums link resets, RESETs received, stop-watchdog and
+	// blocked-timeout fires over every switch port and interface.
+	RecoveryEvents uint64
+	// Injections is the injector's own count of characters it perturbed.
+	Injections uint64
+	// ResetsOnWire is the injector's RESET-symbol observation (the figure
+	// STAT reports as resets=), both directions summed.
+	ResetsOnWire uint64
+	// HeldOutputs is the switch's owned-output count after quiescence.
+	HeldOutputs int
+}
+
+// ResilienceResult pairs the recovery-on sweep with its recovery-off rerun
+// on the same seeds.
+type ResilienceResult struct {
+	Trials   []ResilienceTrial // recovery layer enabled
+	Baseline []ResilienceTrial // recovery disabled: the paper's hardware
+}
+
+// ResilienceOptions parameterizes the campaign.
+type ResilienceOptions struct {
+	Seed int64
+	// Trials per sweep. Zero selects 14 (each fault family twice).
+	Trials int
+	// Messages sent by the tapped node per trial. Zero selects 6;
+	// minimum 3 (the tail-fault family needs a penultimate message).
+	Messages int
+	// Gap paces the messages. Zero selects 10 ms — wide enough that a
+	// serially-armed rule lands between two specific packets.
+	Gap sim.Duration
+}
+
+func (o *ResilienceOptions) fillDefaults() {
+	if o.Trials == 0 {
+		o.Trials = 2 * len(faultFamilies)
+	}
+	if o.Messages < 3 {
+		o.Messages = 6
+	}
+	if o.Gap == 0 {
+		o.Gap = 10 * sim.Millisecond
+	}
+}
+
+// resilienceRuleID is the rule slot every trial arms (one rule per trial;
+// the testbed is rebuilt from scratch between trials).
+const resilienceRuleID = 70
+
+// faultPlan is one trial's randomized injection, fixed before any traffic so
+// the recovery-on and recovery-off runs of the same seed see the same fault.
+type faultPlan struct {
+	cmd  string
+	tail bool // arm between the penultimate and final message
+}
+
+// faultFamilies spans the ISSUE's sweep axes: control symbols, GAPs, route
+// bytes, and CRC integrity. Each builder may draw from rng; the draw count
+// per family is what keeps a seed's plan identical across reruns.
+var faultFamilies = []struct {
+	name  string
+	build func(rng *rand.Rand, nodes int) faultPlan
+}{
+	{"go-drop", func(rng *rand.Rand, nodes int) faultPlan {
+		// A lost GO is the benign end of the spectrum: the short-period
+		// timeout acts as GO ~200 ns later (§4.3.1).
+		return faultPlan{cmd: fmt.Sprintf(
+			"RULE ADD %d MODE ONCE ACT DROP PAT C03", resilienceRuleID)}
+	}},
+	{"gap-drop", func(rng *rand.Rand, nodes int) faultPlan {
+		// A packet-terminating GAP vanishes mid-stream; the next train
+		// merges into it and dies on the destination's CRC check.
+		return faultPlan{cmd: fmt.Sprintf(
+			"RULE ADD %d MODE ONCE ACT DROP PAT C0C", resilienceRuleID)}
+	}},
+	{"gap-drop-tail", func(rng *rand.Rand, nodes int) faultPlan {
+		// The same fault on the final packet: no later train ever
+		// terminates the merged stream — the paper's wedge.
+		return faultPlan{tail: true, cmd: fmt.Sprintf(
+			"RULE ADD %d MODE ONCE ACT DROP PAT C0C", resilienceRuleID)}
+	}},
+	{"gap-to-stop", func(rng *rand.Rand, nodes int) faultPlan {
+		// "Erroneous flow control symbols" (§4.3.1): the terminator
+		// becomes a phantom STOP, unframing the train and pausing the
+		// reverse path at once.
+		return faultPlan{cmd: fmt.Sprintf(
+			"RULE ADD %d MODE ONCE ACT REPLACE PAT C0C VEC C0F", resilienceRuleID)}
+	}},
+	{"route-toggle", func(rng *rand.Rand, nodes int) faultPlan {
+		// §4.3.2 source-route corruption: flip low bits of a switch hop
+		// so the packet exits a wrong (possibly unattached) port. The
+		// MSB stays set — the hop still addresses the switch.
+		target := 1 + rng.Intn(nodes-1)
+		vec := 1 + rng.Intn(7)
+		return faultPlan{cmd: fmt.Sprintf(
+			"RULE ADD %d MODE ONCE ACT TOGGLE PAT %02X VEC %02X",
+			resilienceRuleID, myrinet.SwitchHop(target), vec)}
+	}},
+	{"crc-stale", func(rng *rand.Rand, nodes int) faultPlan {
+		// Payload corruption with the CRC left stale: the link delivers
+		// the packet, the destination's CRC-8 check rejects it.
+		vec := 1 + rng.Intn(255)
+		return faultPlan{cmd: fmt.Sprintf(
+			"RULE ADD %d MODE ONCE ACT TOGGLE PAT %02X VEC %02X",
+			resilienceRuleID, resiliencePayloadFill, vec)}
+	}},
+	{"truncate", func(rng *rand.Rand, nodes int) faultPlan {
+		// Delete a run of payload characters: the shortened packet fails
+		// length and CRC checks downstream.
+		k := 2 + rng.Intn(6)
+		return faultPlan{cmd: fmt.Sprintf(
+			"RULE ADD %d MODE ONCE ACT DROP:%d PAT %02X",
+			resilienceRuleID, k, resiliencePayloadFill)}
+	}},
+}
+
+// resiliencePayloadFill is the message body byte. 0x55 is clear of every
+// control-symbol code, the MAC bytes, and the transport header, so the
+// payload-pattern families fire inside the payload proper.
+const resiliencePayloadFill = 0x55
+
+const resiliencePayloadLen = 20 // > max truncate run, so framing survives
+
+const resiliencePort = 7000
+
+// recoveryEventCount sums the recovery layer's activity over the whole
+// network: every switch port and every host interface.
+func recoveryEventCount(tb *Testbed) uint64 {
+	var n uint64
+	for p := 0; p < tb.Switch.Ports(); p++ {
+		c := tb.Switch.PortCounters(p)
+		n += c.LinkResets + c.ResetsReceived + c.StopWatchdogFires + c.BlockedTimeouts
+	}
+	for _, nd := range tb.Nodes {
+		c := nd.Interface().Counters()
+		n += c.LinkResets + c.ResetsReceived + c.StopWatchdogFires + c.BlockedTimeouts
+	}
+	return n
+}
+
+// runResilienceTrial executes one fault injection against a fresh testbed.
+// With recovery enabled the workload is the reliable transport; disabled, it
+// is plain UDP — the paper's stack, which loses or wedges instead.
+func runResilienceTrial(seed int64, trial int, opts ResilienceOptions, recovery bool) ResilienceTrial {
+	rc := myrinet.RecoveryConfig{}
+	if recovery {
+		// Watchdogs shorter than the transport's first RTO, so a wedge
+		// is broken by a reset before the retry needs the path back.
+		rc = myrinet.RecoveryConfig{
+			Enabled:        true,
+			BlockedTimeout: 15 * sim.Millisecond,
+			StopWatchdog:   25 * sim.Millisecond,
+		}
+	}
+	tb := NewTestbed(TestbedConfig{Seed: seed, Recovery: rc})
+	nodes := len(tb.Nodes)
+
+	// Fix the fault before any other randomness so recovery-on and -off
+	// runs of one seed inject identically.
+	fam := faultFamilies[trial%len(faultFamilies)]
+	plan := fam.build(tb.K.Rand(), nodes)
+	armSpan := sim.Duration(opts.Messages-2) * opts.Gap
+	var armAt sim.Duration
+	if plan.tail {
+		// Land after the penultimate GAP but before the final message:
+		// the serial line itself takes ~87 us per byte to decode.
+		armAt = armSpan + 3*sim.Millisecond
+	} else {
+		armAt = sim.Duration(tb.K.Rand().Int63n(int64(armSpan)))
+	}
+
+	tb.Configure("DIR L")
+	cmd := plan.cmd
+	tb.K.After(armAt, func() { tb.Console.Send(cmd) })
+
+	tr := ResilienceTrial{
+		ID:      trial,
+		Family:  fam.name,
+		Command: cmd,
+		ArmAt:   armAt,
+		Sent:    opts.Messages,
+	}
+
+	payload := make([]byte, resiliencePayloadLen)
+	for i := range payload {
+		payload[i] = resiliencePayloadFill
+	}
+
+	var progress func() uint64
+	var rel *host.Reliable
+	received := 0
+	if recovery {
+		endpoints := make([]*host.Reliable, nodes)
+		for i, n := range tb.Nodes {
+			r, err := host.NewReliable(n, resiliencePort, host.ReliableConfig{
+				InitialRTO: 40 * sim.Millisecond,
+				MaxRTO:     80 * sim.Millisecond,
+				MaxRetries: 5,
+			})
+			if err != nil {
+				panic(err)
+			}
+			endpoints[i] = r
+		}
+		rel = endpoints[0]
+		for i := 0; i < opts.Messages; i++ {
+			dst := NodeMAC(1 + i%(nodes-1))
+			tb.K.After(sim.Duration(i)*opts.Gap, func() { rel.Send(dst, payload) })
+		}
+		progress = func() uint64 {
+			s := rel.Stats()
+			return s.Delivered + s.Retransmits + s.GaveUp + recoveryEventCount(tb)
+		}
+	} else {
+		for _, n := range tb.Nodes {
+			if _, err := n.Bind(resiliencePort, func(myrinet.MAC, uint16, []byte) {
+				received++
+			}); err != nil {
+				panic(err)
+			}
+		}
+		tap := tb.TapNode()
+		for i := 0; i < opts.Messages; i++ {
+			dst := NodeMAC(1 + i%(nodes-1))
+			tb.K.After(sim.Duration(i)*opts.Gap, func() {
+				tap.SendUDP(dst, resiliencePort, resiliencePort, payload)
+			})
+		}
+		progress = func() uint64 {
+			n := uint64(received)
+			for p := 0; p < tb.Switch.Ports(); p++ {
+				n += tb.Switch.PortCounters(p).PacketsForwarded
+			}
+			return n
+		}
+	}
+
+	res := tb.K.RunUntilQuiescent(sim.QuiesceConfig{
+		Progress:   progress,
+		StallAfter: 300 * sim.Millisecond,
+		Deadline:   3 * sim.Second,
+	})
+	tr.Quiesce = res.Outcome()
+	tr.Elapsed = res.Elapsed
+	tr.RecoveryEvents = recoveryEventCount(tb)
+	tr.HeldOutputs = tb.Switch.HeldOutputs()
+	_, _, injOut := tb.Injector.Engine(DirOutbound).Stats()
+	_, _, injIn := tb.Injector.Engine(DirInbound).Stats()
+	tr.Injections = injOut + injIn
+	tr.ResetsOnWire = tb.Injector.Engine(DirOutbound).ResetsSeen() +
+		tb.Injector.Engine(DirInbound).ResetsSeen()
+
+	if recovery {
+		s := rel.Stats()
+		tr.Delivered = s.Delivered
+		tr.Retransmits = s.Retransmits
+		tr.GaveUp = s.GaveUp
+		switch {
+		case res.Stalled || res.DeadlineHit || rel.Outstanding() > 0:
+			tr.Outcome = OutcomeHung
+		case s.Delivered == uint64(tr.Sent):
+			switch {
+			case tr.RecoveryEvents > 0:
+				tr.Outcome = OutcomeResetRecovered
+			case s.Retransmits > 0:
+				tr.Outcome = OutcomeRetransmitted
+			default:
+				tr.Outcome = OutcomeMasked
+			}
+		default:
+			tr.Outcome = OutcomeDegraded
+		}
+		return tr
+	}
+
+	tr.Delivered = uint64(received)
+	switch {
+	case res.Stalled || res.DeadlineHit:
+		tr.Outcome = OutcomeHung
+	case tr.HeldOutputs > 0:
+		// The network drained but a switch output is still owned: the
+		// §4.3.1 wedge, waiting for a GAP that will never come.
+		tr.Outcome = OutcomeHung
+	case received == tr.Sent:
+		tr.Outcome = OutcomeMasked
+	default:
+		tr.Outcome = OutcomeDropped
+	}
+	return tr
+}
+
+// RunResilience sweeps randomized injections with the recovery layer
+// enabled, then reruns the identical faults (same seeds, same plans) with
+// recovery disabled to reproduce the paper's failure modes side by side.
+func RunResilience(opts ResilienceOptions) ResilienceResult {
+	opts.fillDefaults()
+	var res ResilienceResult
+	for t := 0; t < opts.Trials; t++ {
+		seed := opts.Seed + int64(t)*7919
+		res.Trials = append(res.Trials, runResilienceTrial(seed, t, opts, true))
+		res.Baseline = append(res.Baseline, runResilienceTrial(seed, t, opts, false))
+	}
+	return res
+}
+
+// CountOutcomes tallies a sweep's triage.
+func CountOutcomes(trials []ResilienceTrial) map[TrialOutcome]int {
+	m := make(map[TrialOutcome]int)
+	for _, t := range trials {
+		m[t.Outcome]++
+	}
+	return m
+}
+
+// FormatResilience renders both sweeps and their tallies.
+func FormatResilience(r ResilienceResult) string {
+	var b strings.Builder
+	render := func(title string, trials []ResilienceTrial) {
+		fmt.Fprintf(&b, "%s\n", title)
+		for _, t := range trials {
+			fmt.Fprintf(&b, "  trial %2d  %-14s %-15s del=%d/%d retx=%d gaveup=%d resets=%d inj=%d (%s, %.1f ms)\n",
+				t.ID, t.Family, t.Outcome, t.Delivered, t.Sent,
+				t.Retransmits, t.GaveUp, t.RecoveryEvents, t.Injections,
+				t.Quiesce, t.Elapsed.Seconds()*1000)
+		}
+		counts := CountOutcomes(trials)
+		fmt.Fprintf(&b, "  tally:")
+		for _, o := range []TrialOutcome{OutcomeMasked, OutcomeRetransmitted,
+			OutcomeResetRecovered, OutcomeDegraded, OutcomeDropped, OutcomeHung} {
+			if counts[o] > 0 {
+				fmt.Fprintf(&b, " %s=%d", o, counts[o])
+			}
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	render("recovery enabled:", r.Trials)
+	render("recovery disabled (paper hardware):", r.Baseline)
+	return b.String()
+}

@@ -52,6 +52,10 @@ type TestbedConfig struct {
 	TxQueueLimit int
 	// Baud sets the serial console rate. Zero selects 115200.
 	Baud int
+	// Recovery configures the failure-recovery layer on every link
+	// controller and switch port. The zero value (disabled) reproduces
+	// the paper's hardware, which hangs on lost GAPs.
+	Recovery myrinet.RecoveryConfig
 }
 
 // Testbed is a fully wired Fig. 10 network plus instrumentation.
@@ -91,6 +95,7 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	k := sim.NewKernel(cfg.Seed)
 	net := myrinet.NewNetwork(k)
 	sw := net.AddSwitch("sw0", myrinet.DefaultPortCount)
+	sw.SetRecovery(cfg.Recovery)
 
 	tb := &Testbed{K: k, Net: net, Switch: sw, cfg: cfg}
 	for i := 0; i < cfg.Nodes; i++ {
@@ -114,6 +119,7 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 			SendOverhead: 10 * sim.Microsecond,
 			TxQueueLimit: cfg.TxQueueLimit,
 			Mapping:      mapping,
+			Recovery:     cfg.Recovery,
 		})
 		tb.Nodes = append(tb.Nodes, n)
 		net.ConnectHost(n.Interface(), sw, i)

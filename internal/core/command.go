@@ -225,8 +225,8 @@ func (c *CommandDecoder) exec(line string) (string, error) {
 
 	case "STAT":
 		chars, matches, inj := eng.Stats()
-		return fmt.Sprintf("STAT dir=%v chars=%d matches=%d injections=%d rules=%d dropped=%d",
-			c.dir, chars, matches, inj, len(eng.Rules()), eng.DroppedChars()), nil
+		return fmt.Sprintf("STAT dir=%v chars=%d matches=%d injections=%d rules=%d dropped=%d resets=%d",
+			c.dir, chars, matches, inj, len(eng.Rules()), eng.DroppedChars(), eng.ResetsSeen()), nil
 
 	case "RULE":
 		return c.execRule(fields[1:], eng)

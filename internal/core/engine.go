@@ -159,6 +159,7 @@ type Engine struct {
 	matches    uint64
 	injections uint64
 	dropped    uint64
+	resetsSeen uint64
 
 	capture *CaptureRing
 }
@@ -239,6 +240,16 @@ func (e *Engine) Stats() (chars, matches, injections uint64) {
 // the retransmitted stream.
 func (e *Engine) DroppedChars() uint64 { return e.dropped }
 
+// LinkResetCode is the control-character value the link layer uses for its
+// RESET recovery symbol (myrinet.SymReset; asserted equal by test to avoid
+// an import cycle). The injector counts RESETs crossing its tap so a
+// monitoring console can watch recovery activity from the serial port.
+const LinkResetCode = 0x05
+
+// ResetsSeen reports how many link RESET control characters have crossed
+// the tap in this direction.
+func (e *Engine) ResetsSeen() uint64 { return e.resetsSeen }
+
 // Process clocks the engine over a burst of input characters and returns
 // the characters released downstream. The engine holds back its slack, so
 // output lags input by exactly the pipeline depth.
@@ -281,6 +292,9 @@ func (e *Engine) Pending() int { return e.count }
 
 func (e *Engine) push(c phy.Character) {
 	e.chars++
+	if !c.IsData() && c.Byte() == LinkResetCode {
+		e.resetsSeen++
+	}
 	if e.count == len(e.fifo) {
 		// Cannot happen in normal operation: Process always pops down
 		// to slack first. Guard against misuse.

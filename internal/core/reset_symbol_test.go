@@ -1,0 +1,40 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"netfi/internal/myrinet"
+	"netfi/internal/phy"
+)
+
+// The injector counts link RESET symbols without importing the link layer;
+// the two packages must agree on the code point.
+func TestLinkResetCodeMatchesMyrinet(t *testing.T) {
+	if LinkResetCode != byte(myrinet.SymReset) {
+		t.Fatalf("core.LinkResetCode = %#02x, myrinet.SymReset = %#02x",
+			LinkResetCode, byte(myrinet.SymReset))
+	}
+}
+
+func TestEngineCountsResetSymbols(t *testing.T) {
+	e := NewEngine(DefaultSlackChars)
+	e.Process([]phy.Character{
+		phy.ControlChar(LinkResetCode),
+		phy.DataChar(LinkResetCode), // data byte with the same value: not a RESET
+		phy.ControlChar(0x0C),
+		phy.ControlChar(LinkResetCode),
+	})
+	if got := e.ResetsSeen(); got != 2 {
+		t.Fatalf("ResetsSeen = %d, want 2", got)
+	}
+}
+
+func TestStatReportsResets(t *testing.T) {
+	dev, dec := newTestDecoder(t)
+	dev.Engine(LeftToRight).Process([]phy.Character{phy.ControlChar(LinkResetCode)})
+	resp := dec.Exec("STAT L")
+	if !strings.Contains(resp, "resets=1") {
+		t.Fatalf("STAT response %q missing resets=1", resp)
+	}
+}

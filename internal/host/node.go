@@ -51,6 +51,8 @@ type NodeConfig struct {
 	TxQueueLimit int
 	// Mapping configures the interface's MCP.
 	Mapping myrinet.MappingConfig
+	// Recovery enables the link-reset protocol on the node's interface.
+	Recovery myrinet.RecoveryConfig
 }
 
 func (c *NodeConfig) fillDefaults() {
@@ -119,6 +121,7 @@ func NewNode(k *sim.Kernel, cfg NodeConfig) *Node {
 		ID:           cfg.ID,
 		Mapping:      cfg.Mapping,
 		TxQueueLimit: cfg.TxQueueLimit,
+		Recovery:     cfg.Recovery,
 	})
 	n.ifc.SetDataHandler(n.onDatagram)
 	return n

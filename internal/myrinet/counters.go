@@ -51,6 +51,13 @@ const (
 	// sender was stalled (STOP, blocked path) long enough for the host
 	// to outrun its NIC.
 	DropTxQueue
+	// DropReset: in-flight receive state was discarded by a link reset
+	// (slack flush plus reassembly/forwarding abort).
+	DropReset
+	// DropBlocked: a switch port's blocked-packet watchdog dropped a
+	// cut-through packet that made no forwarding progress for the
+	// blocked-packet deadline (head-of-line deadlock breaking).
+	DropBlocked
 )
 
 var dropNames = map[DropReason]string{
@@ -67,6 +74,8 @@ var dropNames = map[DropReason]string{
 	DropOversize:     "oversize",
 	DropNoRoute:      "no-route",
 	DropTxQueue:      "tx-queue",
+	DropReset:        "reset",
+	DropBlocked:      "blocked",
 }
 
 // String returns the reason mnemonic.
@@ -93,6 +102,13 @@ type Counters struct {
 	ShortTimeouts    uint64
 	LongTimeouts     uint64
 	OverflowChars    uint64
+
+	// Recovery layer (zero unless RecoveryConfig.Enabled).
+	LinkResets        uint64 // forward resets this controller initiated
+	ResetsReceived    uint64 // RESET symbols received from the remote
+	StopWatchdogFires uint64 // continuous-STOP deadline expiries
+	BlockedTimeouts   uint64 // switch blocked-packet watchdog expiries
+	FlushedChars      uint64 // slack characters discarded by resets
 }
 
 // NewCounters returns zeroed counters.
@@ -127,6 +143,15 @@ func (c *Counters) String() string {
 	}
 	if c.LongTimeouts > 0 {
 		fmt.Fprintf(&b, " long-to=%d", c.LongTimeouts)
+	}
+	if c.LinkResets+c.ResetsReceived > 0 {
+		fmt.Fprintf(&b, " resets-tx/rx=%d/%d", c.LinkResets, c.ResetsReceived)
+	}
+	if c.StopWatchdogFires > 0 {
+		fmt.Fprintf(&b, " stop-wd=%d", c.StopWatchdogFires)
+	}
+	if c.BlockedTimeouts > 0 {
+		fmt.Fprintf(&b, " blocked-wd=%d", c.BlockedTimeouts)
 	}
 	if len(c.Drops) > 0 {
 		reasons := make([]DropReason, 0, len(c.Drops))

@@ -62,6 +62,8 @@ type InterfaceConfig struct {
 	TxQueueLimit int
 	// Mapping configures the MCP's mapping behaviour.
 	Mapping MappingConfig
+	// Recovery enables the link-reset protocol on the interface's link.
+	Recovery RecoveryConfig
 }
 
 // NewInterface returns an unattached interface.
@@ -89,10 +91,23 @@ func (ifc *Interface) AttachLink(out *phy.Link) phy.Receiver {
 		Name:     ifc.cfg.Name + ".lc",
 		Out:      out,
 		Counters: ifc.ctr,
+		Recovery: ifc.cfg.Recovery,
 	})
 	ifc.lc.SetNotify(ifc.drain)
+	ifc.lc.SetResetHandler(ifc.onLinkReset)
 	ifc.mcp.start()
 	return ifc.lc
+}
+
+// onLinkReset abandons the in-flight reassembly: the link was reset, so the
+// partial packet's tail is gone.
+func (ifc *Interface) onLinkReset() {
+	if ifc.inPacket {
+		ifc.ctr.Drop(DropReset)
+	}
+	ifc.assembling = nil
+	ifc.inPacket = false
+	ifc.oversized = false
 }
 
 // Name returns the interface's label.

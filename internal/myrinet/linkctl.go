@@ -40,6 +40,11 @@ type LinkController struct {
 	refreshEvent sim.EventID
 	refreshOn    bool
 	notify       func() // consumer callback: data available in slack
+
+	// Recovery layer (inactive unless recovery.Enabled).
+	recovery     RecoveryConfig
+	stopWatchdog *sim.Timer // continuous-STOP deadline
+	onReset      func()     // consumer callback: link reset, abort in-flight state
 }
 
 // txPacket is one queued packet: its encoded character stream (including the
@@ -62,6 +67,8 @@ type LinkControllerConfig struct {
 	SlackCapacity int
 	SlackHigh     int
 	SlackLow      int
+	// Recovery enables the link-reset protocol and its watchdogs.
+	Recovery RecoveryConfig
 }
 
 // NewLinkController builds a controller transmitting on cfg.Out. The
@@ -87,8 +94,30 @@ func NewLinkController(k *sim.Kernel, cfg LinkControllerConfig) *LinkController 
 	lc.slack = NewSlackBuffer(capacity, high, low, lc.assertStop, lc.assertGo)
 	lc.shortTimer = sim.NewTimer(k, ShortTimeout, lc.onShortTimeout)
 	lc.longTimer = sim.NewTimer(k, LongTimeout, lc.onLongTimeout)
+	lc.SetRecovery(cfg.Recovery)
 	return lc
 }
+
+// SetRecovery configures the recovery layer. Disabling it mid-run leaves any
+// armed watchdog to expire harmlessly.
+func (lc *LinkController) SetRecovery(rc RecoveryConfig) {
+	rc.fillDefaults()
+	lc.recovery = rc
+	if rc.Enabled && lc.stopWatchdog == nil {
+		lc.stopWatchdog = sim.NewTimer(lc.k, rc.StopWatchdog, lc.onStopWatchdog)
+	}
+	if lc.stopWatchdog != nil {
+		lc.stopWatchdog.SetPeriod(rc.StopWatchdog)
+	}
+}
+
+// Recovery reports the controller's recovery configuration.
+func (lc *LinkController) Recovery() RecoveryConfig { return lc.recovery }
+
+// SetResetHandler registers the consumer callback invoked when the link is
+// reset (locally or by a received RESET symbol): the consumer must abandon
+// any in-flight reassembly or forwarding state for this port.
+func (lc *LinkController) SetResetHandler(fn func()) { lc.onReset = fn }
 
 // Name returns the controller's label.
 func (lc *LinkController) Name() string { return lc.name }
@@ -248,6 +277,13 @@ func (lc *LinkController) pauseTx() {
 			lc.longTimer.Reset()
 		}
 	}
+	// The stop watchdog measures continuous STOP from the first pause: it
+	// is deliberately NOT re-armed by refreshes, so a remote that refreshes
+	// STOP forever (wedged consumer, lost GO downstream of it) still hits
+	// the deadline.
+	if lc.recovery.Enabled && !lc.stopWatchdog.Armed() {
+		lc.stopWatchdog.Reset()
+	}
 }
 
 // resumeTx reacts to a received GO.
@@ -260,6 +296,9 @@ func (lc *LinkController) unpause() {
 	lc.paused = false
 	lc.shortTimer.Stop()
 	lc.longTimer.Stop()
+	if lc.stopWatchdog != nil {
+		lc.stopWatchdog.Stop()
+	}
 	lc.scheduleTx()
 }
 
@@ -291,6 +330,18 @@ func (lc *LinkController) onLongTimeout() {
 		lc.txq = lc.txq[1:]
 	}
 	lc.ctr.Drop(DropTerminated)
+	if lc.recovery.Enabled {
+		// Recovery layer: the termination escalates to a link reset —
+		// flush local state and tear the wedged path down with a
+		// forward RESET so downstream hops do not stay held for another
+		// long-timeout period each.
+		lc.out.Send([]phy.Character{charGap})
+		if victim.onDone != nil {
+			victim.onDone(true)
+		}
+		lc.resetLink()
+		return
+	}
 	// Terminate the packet on the wire so downstream paths release.
 	lc.out.Send([]phy.Character{charGap})
 	if victim.onDone != nil {
@@ -306,6 +357,53 @@ func (lc *LinkController) onLongTimeout() {
 	if !lc.paused {
 		lc.scheduleTx()
 	}
+}
+
+// onStopWatchdog fires when the transmitter has been continuously
+// STOP-blocked for the recovery deadline: the remote's buffer never drained,
+// so the path beyond it is wedged. Terminate whatever is in flight and reset
+// the link.
+func (lc *LinkController) onStopWatchdog() {
+	if !lc.paused || !lc.recovery.Enabled {
+		return
+	}
+	lc.ctr.StopWatchdogFires++
+	if lc.cur != nil {
+		victim := lc.cur
+		lc.cur = nil
+		lc.ctr.Drop(DropTerminated)
+		lc.out.Send([]phy.Character{charGap})
+		if victim.onDone != nil {
+			victim.onDone(true)
+		}
+	}
+	lc.resetLink()
+}
+
+// resetLink performs the local half of a forward link reset: flush the
+// receive slack (with its stale STOP state), propagate a RESET symbol
+// downstream, notify the consumer, and resume transmission — the wedged path
+// is gone, so a standing STOP no longer binds.
+func (lc *LinkController) resetLink() {
+	lc.ctr.LinkResets++
+	lc.ctr.FlushedChars += uint64(lc.slack.Flush())
+	lc.out.SendPriority([]phy.Character{charReset})
+	if lc.onReset != nil {
+		lc.onReset()
+	}
+	lc.unpause()
+}
+
+// receiveReset reacts to a RESET symbol from the remote: the upstream end
+// tore the path down. Discard buffered input and in-flight consumer state;
+// any standing STOP we were honoring is stale.
+func (lc *LinkController) receiveReset() {
+	lc.ctr.ResetsReceived++
+	lc.ctr.FlushedChars += uint64(lc.slack.Flush())
+	if lc.onReset != nil {
+		lc.onReset()
+	}
+	lc.unpause()
 }
 
 // ---- Receive side ----
@@ -328,6 +426,12 @@ func (lc *LinkController) Receive(chars []phy.Character) {
 			lc.pauseTx()
 		case SymbolGo:
 			lc.resumeTx()
+		case SymbolReset:
+			// Only recovery-aware hardware knows the symbol; the
+			// paper's interfaces ignore it like any unknown code.
+			if lc.recovery.Enabled {
+				lc.receiveReset()
+			}
 		case SymbolGap:
 			// Packet framing: GAP enters the stream.
 			if !lc.slack.Push(c) {

@@ -134,9 +134,10 @@ func TestDecodeControlRules(t *testing.T) {
 		{SymGo, SymbolGo},
 		{SymGap, SymbolGap},
 		{SymStop, SymbolStop},
-		{0x08, SymbolStop}, // single 1->0 fault still recognized (paper)
-		{0x02, SymbolGo},   // single 1->0 fault still recognized (paper)
-		{0x05, SymbolUnknown},
+		{0x08, SymbolStop},      // single 1->0 fault still recognized (paper)
+		{0x02, SymbolGo},        // single 1->0 fault still recognized (paper)
+		{SymReset, SymbolReset}, // recovery layer's forward reset
+		{0x06, SymbolUnknown},
 		{0xFF, SymbolUnknown},
 	}
 	for _, c := range cases {
@@ -149,7 +150,7 @@ func TestDecodeControlRules(t *testing.T) {
 func TestControlSymbolHammingDistance(t *testing.T) {
 	// "There is a Hamming distance of at least two between any two
 	// control symbols" (§4.3.1).
-	syms := []byte{SymGo, SymGap, SymStop}
+	syms := []byte{SymGo, SymGap, SymStop, SymReset}
 	for i := 0; i < len(syms); i++ {
 		for j := i + 1; j < len(syms); j++ {
 			d := bitstream.OnesCount32(uint32(syms[i] ^ syms[j]))

@@ -1,0 +1,39 @@
+package myrinet
+
+import "netfi/internal/sim"
+
+// RecoveryConfig enables and parameterizes the failure-recovery layer that
+// real Myrinet deployments add on top of the paper's short/long-period
+// timeouts. The paper's campaign (§4.3) shows the raw protocol losing sync
+// and hanging under control-symbol, GAP, and route faults; with recovery
+// enabled the same faults are torn down instead:
+//
+//   - Link reset: when the long-period timeout terminates a packet, or a
+//     sender stays STOP-blocked past the stop watchdog, the controller also
+//     flushes its receive slack and propagates a forward RESET symbol so
+//     every hop downstream abandons the wedged path.
+//   - Blocked-packet watchdog: a switch port whose cut-through packet makes
+//     no progress (held output, lost tail) for BlockedTimeout drops it,
+//     breaking head-of-line deadlocks caused by lost GOs or corrupted GAPs.
+//
+// The zero value disables recovery, which reproduces the paper's observed
+// hang outcomes.
+type RecoveryConfig struct {
+	// Enabled turns the recovery layer on.
+	Enabled bool
+	// BlockedTimeout is the switch-port blocked-packet deadline. Zero
+	// selects DefaultBlockedTimeout (75 ms).
+	BlockedTimeout sim.Duration
+	// StopWatchdog is the continuous-STOP deadline on the transmit side.
+	// Zero selects DefaultStopWatchdog (100 ms).
+	StopWatchdog sim.Duration
+}
+
+func (rc *RecoveryConfig) fillDefaults() {
+	if rc.BlockedTimeout == 0 {
+		rc.BlockedTimeout = DefaultBlockedTimeout
+	}
+	if rc.StopWatchdog == 0 {
+		rc.StopWatchdog = DefaultStopWatchdog
+	}
+}

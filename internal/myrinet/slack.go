@@ -81,6 +81,23 @@ func (s *SlackBuffer) Pop() (phy.Character, bool) {
 	return c, true
 }
 
+// Flush discards every buffered character and returns how many were
+// destroyed. A flush that empties a stopping buffer fires onGo: the link
+// reset that triggered it has torn down the upstream path, and whatever
+// replaces it must not inherit a stale STOP. Used by the recovery layer only.
+func (s *SlackBuffer) Flush() int {
+	n := s.count
+	s.head = 0
+	s.count = 0
+	if s.stopping {
+		s.stopping = false
+		if s.onGo != nil {
+			s.onGo()
+		}
+	}
+	return n
+}
+
 // Peek returns the oldest character without removing it.
 func (s *SlackBuffer) Peek() (phy.Character, bool) {
 	if s.count == 0 {

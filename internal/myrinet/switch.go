@@ -26,9 +26,10 @@ import (
 //
 // The zero value is not usable; construct with NewSwitch.
 type Switch struct {
-	k     *sim.Kernel
-	name  string
-	ports []*switchPort
+	k        *sim.Kernel
+	name     string
+	ports    []*switchPort
+	recovery RecoveryConfig
 }
 
 // DefaultPortCount matches the paper's test bed (an 8-port switch).
@@ -82,6 +83,11 @@ type switchPort struct {
 	// Output ownership.
 	owner   *switchPort
 	waiters []*switchPort
+
+	// Recovery layer: the blocked-packet watchdog. Re-armed on every unit
+	// of forwarding progress; expiry tears down a packet that is stuck
+	// waiting for a held output or whose tail never arrives.
+	blockedTimer *sim.Timer
 }
 
 // NewSwitch returns a switch with n unattached ports.
@@ -125,14 +131,67 @@ func (sw *Switch) AttachLink(p int, out *phy.Link) phy.Receiver {
 		Name:     fmt.Sprintf("%s.p%d", sw.name, p),
 		Out:      out,
 		Counters: port.ctr,
+		Recovery: sw.recovery,
 	})
 	port.lc.SetNotify(port.drain)
 	port.lc.SetTxDrainNotify(port.onOutputDrained)
+	port.lc.SetResetHandler(port.onReset)
+	port.applyRecovery(sw.recovery)
 	return port.lc
+}
+
+// SetRecovery enables (or reconfigures) the recovery layer on every port,
+// attached now or later.
+func (sw *Switch) SetRecovery(rc RecoveryConfig) {
+	rc.fillDefaults()
+	sw.recovery = rc
+	for _, p := range sw.ports {
+		if p.lc != nil {
+			p.lc.SetRecovery(rc)
+			p.applyRecovery(rc)
+		}
+	}
+}
+
+func (p *switchPort) applyRecovery(rc RecoveryConfig) {
+	if !rc.Enabled {
+		return
+	}
+	if p.blockedTimer == nil {
+		p.blockedTimer = sim.NewTimer(p.sw.k, rc.BlockedTimeout, p.onBlockedTimeout)
+	}
+	p.blockedTimer.SetPeriod(rc.BlockedTimeout)
+}
+
+// petBlocked re-arms the blocked-packet watchdog: a unit of forwarding
+// progress happened.
+func (p *switchPort) petBlocked() {
+	if p.blockedTimer != nil {
+		p.blockedTimer.Reset()
+	}
+}
+
+func (p *switchPort) stopBlocked() {
+	if p.blockedTimer != nil {
+		p.blockedTimer.Stop()
+	}
 }
 
 // Controller exposes port p's link controller (monitors and tests).
 func (sw *Switch) Controller(p int) *LinkController { return sw.ports[p].lc }
+
+// HeldOutputs counts output ports currently owned by a forwarding path. A
+// nonzero count on a quiet network is the paper's hang signature: a path
+// acquired by a packet whose terminating GAP never arrived.
+func (sw *Switch) HeldOutputs() int {
+	n := 0
+	for _, p := range sw.ports {
+		if p.owner != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // ---- input FSM ----
 
@@ -196,6 +255,7 @@ func (p *switchPort) stepIdle(c phy.Character) {
 		p.pendingRoute = route
 		p.state = stWaitOutput
 		target.waiters = append(target.waiters, p)
+		p.petBlocked()
 		return
 	}
 	p.beginForward(target, route)
@@ -211,9 +271,11 @@ func (p *switchPort) beginForward(target *switchPort, route byte) {
 	p.phase = phRoute
 	p.typeBytes = p.typeBytes[:0]
 	p.isMapping = false
+	p.petBlocked()
 }
 
 func (p *switchPort) stepForward(c phy.Character) {
+	p.petBlocked()
 	if c.IsData() {
 		b := c.Byte()
 		p.scanHead(b)
@@ -246,6 +308,7 @@ func (p *switchPort) stepForward(c phy.Character) {
 	}
 	p.releaseOutput()
 	p.state = stIdle
+	p.stopBlocked()
 }
 
 // scanHead advances the head-phase tracker used to recognize mapping
@@ -310,4 +373,67 @@ func (p *switchPort) onOutputDrained() {
 	if p.owner != nil {
 		p.owner.drain()
 	}
+}
+
+// ---- recovery layer ----
+
+// unwait removes p from the waiter queue of the output its pending route
+// selected.
+func (p *switchPort) unwait() {
+	target := p.sw.ports[int(p.pendingRoute&RoutePortMask)]
+	for i, w := range target.waiters {
+		if w == p {
+			target.waiters = append(target.waiters[:i], target.waiters[i+1:]...)
+			break
+		}
+	}
+}
+
+// onBlockedTimeout fires when a cut-through packet made no forwarding
+// progress for the blocked-packet deadline.
+func (p *switchPort) onBlockedTimeout() {
+	switch p.state {
+	case stWaitOutput:
+		// Head-of-line deadlock breaking: the output this packet wants
+		// is held by a path that is not moving (a lost GO or corrupted
+		// GAP upstream). Drop the stuck packet — its remaining
+		// characters drain to the bit bucket — so traffic behind it to
+		// other outputs flows again.
+		p.ctr.BlockedTimeouts++
+		p.ctr.Drop(DropBlocked)
+		p.unwait()
+		p.state = stDrop
+		p.drain()
+	case stForward:
+		// Mid-stream stall: the tail never arrived (lost GAP) or the
+		// downstream backlog froze. Terminate the partial packet on the
+		// output — the trailing GAP makes the next hop's CRC check
+		// reject it — propagate a forward RESET, and release the path.
+		p.ctr.BlockedTimeouts++
+		p.ctr.Drop(DropBlocked)
+		p.ctr.LinkResets++
+		p.outPort.lc.StreamChars([]phy.Character{charGap, charReset})
+		p.releaseOutput()
+		p.state = stDrop
+		p.drain()
+	}
+}
+
+// onReset reacts to a RESET symbol from the attached device: the upstream
+// end of this input tore its path down. Abandon in-flight state and, if an
+// output was held, propagate the reset through it.
+func (p *switchPort) onReset() {
+	switch p.state {
+	case stForward:
+		p.ctr.Drop(DropReset)
+		p.outPort.lc.StreamChars([]phy.Character{charGap, charReset})
+		p.releaseOutput()
+	case stWaitOutput:
+		p.ctr.Drop(DropReset)
+		p.unwait()
+	}
+	// The slack was flushed with the reset; the next character from
+	// upstream opens a fresh packet.
+	p.state = stIdle
+	p.stopBlocked()
 }

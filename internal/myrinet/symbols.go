@@ -25,6 +25,13 @@ const (
 	// SymStop pauses the remote transmitter (flow control, issued when a
 	// slack buffer reaches its high watermark).
 	SymStop byte = 0x0F
+	// SymReset is the forward-reset symbol of the recovery layer: a link
+	// controller that gives up on a wedged path (long-period termination,
+	// stuck-STOP watchdog) sends it downstream; every hop that receives it
+	// tears down in-flight state for the path and propagates it onward.
+	// 0x05 keeps the code set's Hamming distance of at least two from
+	// IDLE/GO/GAP/STOP and from their tolerated degraded forms (0x02, 0x08).
+	SymReset byte = 0x05
 )
 
 // Symbol is the decoded meaning of a control character.
@@ -38,6 +45,7 @@ const (
 	SymbolGo
 	SymbolGap
 	SymbolStop
+	SymbolReset
 )
 
 // String returns the symbol mnemonic.
@@ -51,6 +59,8 @@ func (s Symbol) String() string {
 		return "GAP"
 	case SymbolStop:
 		return "STOP"
+	case SymbolReset:
+		return "RESET"
 	default:
 		return "UNKNOWN"
 	}
@@ -65,6 +75,8 @@ func (s Symbol) Code() byte {
 		return SymGap
 	case SymbolStop:
 		return SymStop
+	case SymbolReset:
+		return SymReset
 	default:
 		return SymIdle
 	}
@@ -87,6 +99,8 @@ func DecodeControl(code byte) Symbol {
 		return SymbolGap
 	case SymStop:
 		return SymbolStop
+	case SymReset:
+		return SymbolReset
 	case 0x08: // single 1->0 fault on STOP, per the paper
 		return SymbolStop
 	case 0x02: // single 1->0 fault on GO, per the paper
@@ -98,10 +112,11 @@ func DecodeControl(code byte) Symbol {
 
 // Control characters as phy characters, for convenience.
 var (
-	charIdle = phy.ControlChar(SymIdle)
-	charGo   = phy.ControlChar(SymGo)
-	charGap  = phy.ControlChar(SymGap)
-	charStop = phy.ControlChar(SymStop)
+	charIdle  = phy.ControlChar(SymIdle)
+	charGo    = phy.ControlChar(SymGo)
+	charGap   = phy.ControlChar(SymGap)
+	charStop  = phy.ControlChar(SymStop)
+	charReset = phy.ControlChar(SymReset)
 )
 
 // GapChar returns the GAP control character.
@@ -115,3 +130,6 @@ func GoChar() phy.Character { return charGo }
 
 // IdleChar returns the IDLE control character.
 func IdleChar() phy.Character { return charIdle }
+
+// ResetChar returns the forward-reset control character.
+func ResetChar() phy.Character { return charReset }

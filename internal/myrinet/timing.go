@@ -44,6 +44,27 @@ const (
 	txChunkChars = 32
 )
 
+// Recovery-layer deadlines. The paper's hardware stops at the long-period
+// timeout; real deployments add the watchdogs below so a wedged path is torn
+// down instead of holding the network hostage. All are deliberately longer
+// than LongTimeout: the paper-modeled timeouts get the first chance to
+// recover, and the reset layer only acts when they could not.
+const (
+	// DefaultBlockedTimeout is the switch-port blocked-packet deadline: a
+	// cut-through packet that makes no forwarding progress for this long
+	// (stuck waiting for a held output, or mid-stream with its tail lost)
+	// is torn down to break head-of-line deadlocks (1.5x LongTimeout,
+	// 75 ms).
+	DefaultBlockedTimeout = 6_000_000 * CharPeriod
+
+	// DefaultStopWatchdog is the transmit-side deadline: a sender held
+	// continuously in STOP for this long (the remote keeps refreshing STOP
+	// because its buffer never drains — a lost GO downstream, a wedged
+	// consumer) declares the link dead and resets it (2x LongTimeout,
+	// 100 ms).
+	DefaultStopWatchdog = 8_000_000 * CharPeriod
+)
+
 // Slack-buffer geometry (Fig. 9). The buffer must absorb everything in
 // flight after STOP is asserted: a transmit chunk (32 chars) plus the STOP's
 // round-trip, so the gap between high watermark and capacity is generous.
