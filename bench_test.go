@@ -282,6 +282,73 @@ func BenchmarkKernelEventThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkKernel exercises the event kernel with the schedule/fire/cancel
+// mix a campaign run produces: mostly near-future events landing in the
+// timer wheel's first level, some spread across the outer levels, a tail
+// beyond the wheel horizon (heap fallback), and a fraction canceled before
+// they fire. Reports events/s across the whole mix.
+func BenchmarkKernel(b *testing.B) {
+	delays := [8]sim.Duration{
+		// L0 (sub-4µs), L1, L2, and past-horizon heap delays, weighted
+		// toward the near future like real link traffic.
+		50 * sim.Nanosecond,
+		800 * sim.Nanosecond,
+		2 * sim.Microsecond,
+		30 * sim.Microsecond, // L1
+		700 * sim.Microsecond,
+		9 * sim.Millisecond, // L2
+		16 * sim.Millisecond,
+		40 * sim.Millisecond, // heap fallback (beyond the ~17ms horizon)
+	}
+	k := sim.NewKernel(1)
+	nop := func() {}
+	var pending []sim.EventID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := k.After(delays[i&7], nop)
+		if i&7 == 3 {
+			pending = append(pending, id)
+		}
+		if i&15 == 15 {
+			// Cancel a scheduled-but-unfired event, then drain a bit so
+			// the pending set stays bounded and events actually fire.
+			k.Cancel(pending[len(pending)-1])
+			pending = pending[:len(pending)-1]
+			for j := 0; j < 16 && k.Step(); j++ {
+			}
+		}
+	}
+	b.StopTimer()
+	k.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkCampaignThroughput measures the resilience campaign's trials/sec
+// at 1, 2, and N workers. Each iteration runs a fixed small sweep (trials
+// on + off per trial pair); the per-worker sub-benchmarks share the seed so
+// the computed results are identical and only wall-clock differs.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	counts := []int{1, 2, campaign.DefaultWorkers()}
+	if counts[2] < 4 {
+		counts[2] = 4
+	}
+	for _, workers := range counts {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			const trials = 8
+			for i := 0; i < b.N; i++ {
+				campaign.RunResilience(campaign.ResilienceOptions{
+					Seed:    42,
+					Trials:  trials,
+					Workers: workers,
+				})
+			}
+			// Each trial runs twice (recovery on and off).
+			b.ReportMetric(float64(b.N*trials*2)/b.Elapsed().Seconds(), "trials/s")
+		})
+	}
+}
+
 func Benchmark8b10bEncode(b *testing.B) {
 	rd := enc8b10b.RDMinus
 	for i := 0; i < b.N; i++ {

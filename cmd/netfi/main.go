@@ -15,16 +15,24 @@
 //
 // Flags:
 //
-//	-seed N    simulation seed (default 1)
-//	-scale F   scale experiment durations/rounds toward the paper's full
-//	           lengths (default 1.0; e.g. -scale 12 runs Table 2 with
-//	           240k ping-pong rounds and §4.3.1 for a full minute)
+//	-seed N        simulation seed (default 1)
+//	-scale F       scale experiment durations/rounds toward the paper's full
+//	               lengths (default 1.0; e.g. -scale 12 runs Table 2 with
+//	               240k ping-pong rounds and §4.3.1 for a full minute)
+//	-workers N     worker goroutines for campaign trials (default: one per
+//	               CPU; 1 reproduces the serial runner exactly — output is
+//	               byte-identical either way)
+//	-cpuprofile F  write a CPU profile to F
+//	-memprofile F  write a heap profile to F on exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"netfi/internal/campaign"
 	"netfi/internal/sim"
@@ -35,18 +43,58 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// expOpts carries the shared experiment knobs.
+type expOpts struct {
+	seed    int64
+	scale   float64
+	workers int
+}
+
 func run(args []string) int {
 	fs := flag.NewFlagSet("netfi", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "simulation seed")
 	scale := fs.Float64("scale", 1.0, "scale experiment length toward the paper's full runs")
+	workers := fs.Int("workers", campaign.DefaultWorkers(), "worker goroutines for campaign trials (1 = serial)")
+	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := fs.String("memprofile", "", "write heap profile to file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: netfi [-seed N] [-scale F] <table1|table2|table4|sec431|sec432|sec433|sec434|passthrough|multirule|resilience|all>")
+		fmt.Fprintln(os.Stderr, "usage: netfi [-seed N] [-scale F] [-workers N] [-cpuprofile F] [-memprofile F] <table1|table2|table4|sec431|sec432|sec433|sec434|passthrough|multirule|resilience|all>")
 		return 2
 	}
-	cmds := map[string]func(int64, float64){
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netfi: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "netfi: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "netfi: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "netfi: %v\n", err)
+			}
+		}()
+	}
+
+	opts := expOpts{seed: *seed, scale: *scale, workers: *workers}
+	cmds := map[string]func(expOpts) string{
 		"table1":      table1,
 		"table2":      table2,
 		"table4":      table4,
@@ -60,11 +108,24 @@ func run(args []string) int {
 	}
 	name := fs.Arg(0)
 	if name == "all" {
-		for _, n := range []string{"table1", "table2", "table4", "sec431", "sec432", "sec433", "sec434", "passthrough", "multirule", "resilience"} {
-			fmt.Printf("==== %s ====\n", n)
-			cmds[n](*seed, *scale)
-			fmt.Println()
+		order := []string{"table1", "table2", "table4", "sec431", "sec432", "sec433", "sec434", "passthrough", "multirule", "resilience"}
+		// Sections are independent simulations, so `all` fans the sections
+		// themselves out over the pool. The inner campaigns then run their
+		// trials serially (workers=1) to avoid oversubscribing the CPUs;
+		// each section's output is assembled whole, in order, so the
+		// combined report is byte-identical to a serial run.
+		sectionOpts := opts
+		if opts.workers > 1 {
+			sectionOpts.workers = 1
 		}
+		reports := campaign.RunTrials(len(order), opts.workers, func(i int) string {
+			return cmds[order[i]](sectionOpts)
+		})
+		var b strings.Builder
+		for i, n := range order {
+			fmt.Fprintf(&b, "==== %s ====\n%s\n", n, reports[i])
+		}
+		fmt.Print(b.String())
 		return 0
 	}
 	cmd, ok := cmds[name]
@@ -72,81 +133,85 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "netfi: unknown experiment %q\n", name)
 		return 2
 	}
-	cmd(*seed, *scale)
+	fmt.Print(cmd(opts))
 	return 0
 }
 
-func table1(_ int64, _ float64) {
-	fmt.Println("Table 1: synthesis results of the FPGA code (structural estimate vs paper)")
-	fmt.Print(synth.Table1())
+func table1(expOpts) string {
+	return "Table 1: synthesis results of the FPGA code (structural estimate vs paper)\n" +
+		synth.Table1()
 }
 
-func table2(seed int64, scale float64) {
-	fmt.Println("Table 2: latency measurements (UDP ping-pong, with/without injector)")
+func table2(o expOpts) string {
 	rows := campaign.RunTable2(campaign.Table2Options{
-		Seed:   seed,
-		Rounds: int(20_000 * scale),
+		Seed:    o.seed,
+		Rounds:  int(20_000 * o.scale),
+		Workers: o.workers,
 	})
-	fmt.Print(campaign.FormatTable2(rows))
+	return "Table 2: latency measurements (UDP ping-pong, with/without injector)\n" +
+		campaign.FormatTable2(rows)
 }
 
-func table4(seed int64, scale float64) {
-	fmt.Println("Table 4: control symbol corruption campaign")
+func table4(o expOpts) string {
 	rows := campaign.RunTable4(campaign.Table4Options{
-		Seed:     seed,
-		Duration: sim.Duration(1700 * scale * float64(sim.Millisecond)),
+		Seed:     o.seed,
+		Duration: sim.Duration(1700 * o.scale * float64(sim.Millisecond)),
+		Workers:  o.workers,
 	})
-	fmt.Print(campaign.FormatTable4(rows))
+	return "Table 4: control symbol corruption campaign\n" +
+		campaign.FormatTable4(rows)
 }
 
-func sec431(seed int64, scale float64) {
-	fmt.Println("Section 4.3.1: throughput under flow-control corruption")
+func sec431(o expOpts) string {
 	res := campaign.RunSec431(campaign.Sec431Options{
-		Seed:     seed,
-		Duration: sim.Duration(5 * scale * float64(sim.Second)),
+		Seed:     o.seed,
+		Duration: sim.Duration(5 * o.scale * float64(sim.Second)),
+		Workers:  o.workers,
 	})
-	fmt.Print(campaign.FormatSec431(res))
+	return "Section 4.3.1: throughput under flow-control corruption\n" +
+		campaign.FormatSec431(res)
 }
 
-func sec432(seed int64, _ float64) {
-	fmt.Println("Section 4.3.2: packet type corruption")
-	fmt.Print(campaign.FormatSec432(campaign.RunSec432(campaign.Sec432Options{Seed: seed})))
+func sec432(o expOpts) string {
+	return "Section 4.3.2: packet type corruption\n" +
+		campaign.FormatSec432(campaign.RunSec432(campaign.Sec432Options{Seed: o.seed, Workers: o.workers}))
 }
 
-func sec433(seed int64, _ float64) {
-	fmt.Println("Section 4.3.3: physical address corruption (includes Fig. 11)")
-	fmt.Print(campaign.FormatSec433(campaign.RunSec433(campaign.Sec433Options{Seed: seed})))
+func sec433(o expOpts) string {
+	return "Section 4.3.3: physical address corruption (includes Fig. 11)\n" +
+		campaign.FormatSec433(campaign.RunSec433(campaign.Sec433Options{Seed: o.seed, Workers: o.workers}))
 }
 
-func sec434(seed int64, _ float64) {
-	fmt.Println("Section 4.3.4: UDP address corruption / checksum evasion")
-	fmt.Print(campaign.FormatSec434(campaign.RunSec434(campaign.Sec434Options{Seed: seed})))
+func sec434(o expOpts) string {
+	return "Section 4.3.4: UDP address corruption / checksum evasion\n" +
+		campaign.FormatSec434(campaign.RunSec434(campaign.Sec434Options{Seed: o.seed, Workers: o.workers}))
 }
 
-func multirule(seed int64, _ float64) {
-	fmt.Println("Multi-target address corruption via the rule engine (one pass, one rule set)")
-	res := campaign.RunMultiRule(campaign.MultiRuleOptions{Seed: seed})
-	fmt.Print(campaign.FormatMultiRule(res))
+func multirule(o expOpts) string {
+	res := campaign.RunMultiRule(campaign.MultiRuleOptions{Seed: o.seed})
 	ent := synth.RuleEngineEntity(res.DFAStates, res.DFAStates*512, res.RulesArmed)
 	est := ent.Estimate()
-	fmt.Printf("estimated FPGA cost of this rule set: %d gates, %d FGs, %d muxes, %d DFFs\n",
-		est.Gates, est.FunctionGenerators, est.Multiplexors, est.DFlipFlops)
+	return "Multi-target address corruption via the rule engine (one pass, one rule set)\n" +
+		campaign.FormatMultiRule(res) +
+		fmt.Sprintf("estimated FPGA cost of this rule set: %d gates, %d FGs, %d muxes, %d DFFs\n",
+			est.Gates, est.FunctionGenerators, est.Multiplexors, est.DFlipFlops)
 }
 
-func resilience(seed int64, scale float64) {
-	fmt.Println("Resilience campaign: randomized injections, recovery on vs off (same seeds)")
+func resilience(o expOpts) string {
 	res := campaign.RunResilience(campaign.ResilienceOptions{
-		Seed:   seed,
-		Trials: int(14 * scale),
+		Seed:    o.seed,
+		Trials:  int(14 * o.scale),
+		Workers: o.workers,
 	})
-	fmt.Print(campaign.FormatResilience(res))
+	return "Resilience campaign: randomized injections, recovery on vs off (same seeds)\n" +
+		campaign.FormatResilience(res)
 }
 
-func passthrough(seed int64, scale float64) {
-	fmt.Println("Section 3.5: pass-through transparency")
+func passthrough(o expOpts) string {
 	res := campaign.RunPassThrough(campaign.PassThroughOptions{
-		Seed:     seed,
-		Duration: sim.Duration(2 * scale * float64(sim.Second)),
+		Seed:     o.seed,
+		Duration: sim.Duration(2 * o.scale * float64(sim.Second)),
 	})
-	fmt.Print(campaign.FormatPassThrough(res))
+	return "Section 3.5: pass-through transparency\n" +
+		campaign.FormatPassThrough(res)
 }

@@ -1,0 +1,77 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunTrials executes fn(0) … fn(n-1) across up to workers goroutines and
+// returns the results in trial order.
+//
+// Determinism: campaign trials are embarrassingly parallel by construction —
+// every trial builds its own Testbed around its own sim.Kernel, seeded from
+// the campaign seed and the trial index alone, and shares no mutable state
+// with its siblings. Scheduling therefore cannot influence any result, only
+// the wall-clock order in which results are produced, and reassembling them
+// by index makes parallel output byte-identical to serial. The contract fn
+// must honor: derive all randomness from the trial index (never from a
+// rand.Rand captured outside fn — the race test pins this), and do not touch
+// shared state.
+//
+// workers <= 1 runs the trials inline on the calling goroutine, reproducing
+// the pre-parallel behavior exactly. A panic in any trial is re-raised on
+// the calling goroutine once the pool has drained.
+func RunTrials[T any](n, workers int, fn func(trial int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	if workers <= 1 || n == 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(fmt.Sprintf("campaign: trial panicked: %v", panicV))
+	}
+	return out
+}
+
+// DefaultWorkers is the worker count campaigns use when none is specified:
+// one per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }

@@ -81,6 +81,9 @@ type ResilienceOptions struct {
 	// Gap paces the messages. Zero selects 10 ms — wide enough that a
 	// serially-armed rule lands between two specific packets.
 	Gap sim.Duration
+	// Workers runs trials on a worker pool; <= 1 is serial. Results are
+	// identical either way (each trial is a self-contained simulation).
+	Workers int
 }
 
 func (o *ResilienceOptions) fillDefaults() {
@@ -346,11 +349,18 @@ func runResilienceTrial(seed int64, trial int, opts ResilienceOptions, recovery 
 // recovery disabled to reproduce the paper's failure modes side by side.
 func RunResilience(opts ResilienceOptions) ResilienceResult {
 	opts.fillDefaults()
-	var res ResilienceResult
-	for t := 0; t < opts.Trials; t++ {
+	type pair struct{ on, off ResilienceTrial }
+	pairs := RunTrials(opts.Trials, opts.Workers, func(t int) pair {
 		seed := opts.Seed + int64(t)*7919
-		res.Trials = append(res.Trials, runResilienceTrial(seed, t, opts, true))
-		res.Baseline = append(res.Baseline, runResilienceTrial(seed, t, opts, false))
+		return pair{
+			on:  runResilienceTrial(seed, t, opts, true),
+			off: runResilienceTrial(seed, t, opts, false),
+		}
+	})
+	var res ResilienceResult
+	for _, p := range pairs {
+		res.Trials = append(res.Trials, p.on)
+		res.Baseline = append(res.Baseline, p.off)
 	}
 	return res
 }

@@ -40,6 +40,9 @@ type Sec431Options struct {
 	// minute; zero selects 5 s, which measures the same rates (scale up
 	// via cmd/netfi for the full minute).
 	Duration sim.Duration
+	// Workers runs the three independent measurement runs concurrently;
+	// <= 1 is serial. Results are identical either way.
+	Workers int
 }
 
 func (o *Sec431Options) fillDefaults() {
@@ -89,21 +92,40 @@ func sec431Run(seed int64, d sim.Duration, mask, repl myrinet.Symbol, duty sim.D
 // SymbolNone marks "no corruption" in sec431Run.
 const SymbolNone = myrinet.SymbolUnknown
 
-// RunSec431 executes baseline, faulty-STOP, and GAP-corruption runs.
+// RunSec431 executes baseline, faulty-STOP, and GAP-corruption runs. The
+// three runs are independent simulations with their own seeds, so they can
+// run on the worker pool.
 func RunSec431(opts Sec431Options) Sec431Result {
 	opts.fillDefaults()
-	baseTap, baseTotal, _ := sec431Run(opts.Seed, opts.Duration, SymbolNone, SymbolNone, 0)
-	// Faulty STOP conditions — the paper's own wording: "erroneous flow
-	// control symbols caused, for example, empty buffers to issue STOP
-	// commands". Packet-terminating GAPs on the tapped link become
-	// spurious STOPs: framing is destroyed and phantom STOP commands
-	// stall the senders. Metered to 82 ms out of every 100 ms; armed
-	// continuously nothing at all survives (recovery needs a quiet window
-	// longer than the ~50 ms long-period timeout).
-	stopTap, _, _ := sec431Run(opts.Seed+1, opts.Duration, myrinet.SymbolGap, myrinet.SymbolStop, 82*sim.Millisecond)
-	// GAP corruption: packet-terminating GAPs vanish; paths stay
-	// occupied until the long-period timeout reclaims them.
-	_, gapTotal, gapTOs := sec431Run(opts.Seed+2, opts.Duration, myrinet.SymbolGap, myrinet.SymbolIdle, 0)
+	type run struct {
+		tap, total float64
+		longTOs    uint64
+	}
+	runs := RunTrials(3, opts.Workers, func(i int) run {
+		var r run
+		switch i {
+		case 0:
+			r.tap, r.total, _ = sec431Run(opts.Seed, opts.Duration, SymbolNone, SymbolNone, 0)
+		case 1:
+			// Faulty STOP conditions — the paper's own wording: "erroneous
+			// flow control symbols caused, for example, empty buffers to
+			// issue STOP commands". Packet-terminating GAPs on the tapped
+			// link become spurious STOPs: framing is destroyed and phantom
+			// STOP commands stall the senders. Metered to 82 ms out of
+			// every 100 ms; armed continuously nothing at all survives
+			// (recovery needs a quiet window longer than the ~50 ms
+			// long-period timeout).
+			r.tap, _, _ = sec431Run(opts.Seed+1, opts.Duration, myrinet.SymbolGap, myrinet.SymbolStop, 82*sim.Millisecond)
+		case 2:
+			// GAP corruption: packet-terminating GAPs vanish; paths stay
+			// occupied until the long-period timeout reclaims them.
+			_, r.total, r.longTOs = sec431Run(opts.Seed+2, opts.Duration, myrinet.SymbolGap, myrinet.SymbolIdle, 0)
+		}
+		return r
+	})
+	baseTap, baseTotal := runs[0].tap, runs[0].total
+	stopTap := runs[1].tap
+	gapTotal, gapTOs := runs[2].total, runs[2].longTOs
 
 	res := Sec431Result{
 		BaselinePerMin:  baseTap,

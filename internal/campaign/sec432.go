@@ -40,15 +40,35 @@ type Sec432Result struct {
 // Sec432Options parameterizes the experiments.
 type Sec432Options struct {
 	Seed int64
+	// Workers runs the four independent experiments concurrently; <= 1 is
+	// serial. Results are identical either way.
+	Workers int
 }
 
-// RunSec432 executes the four §4.3.2 experiments on fresh test beds.
+// RunSec432 executes the four §4.3.2 experiments on fresh test beds. Each
+// experiment builds its own testbed from its own seed and writes a disjoint
+// set of result fields, so they fan out over the worker pool and merge.
 func RunSec432(opts Sec432Options) Sec432Result {
-	var res Sec432Result
-	res = runMappingCorruption(opts.Seed, res)
-	res = runDataTypeCorruption(opts.Seed+10, res)
-	res = runRouteMSB(opts.Seed+20, res)
-	res = runMisroute(opts.Seed+30, res)
+	parts := RunTrials(4, opts.Workers, func(i int) Sec432Result {
+		var r Sec432Result
+		switch i {
+		case 0:
+			return runMappingCorruption(opts.Seed, r)
+		case 1:
+			return runDataTypeCorruption(opts.Seed+10, r)
+		case 2:
+			return runRouteMSB(opts.Seed+20, r)
+		default:
+			return runMisroute(opts.Seed+30, r)
+		}
+	})
+	res := parts[0] // mapping fields
+	res.DataPacketDropped = parts[1].DataPacketDropped
+	res.DataRoutesUntouched = parts[1].DataRoutesUntouched
+	res.RouteMSBConsumed = parts[2].RouteMSBConsumed
+	res.RouteMSBNoIncident = parts[2].RouteMSBNoIncident
+	res.MisrouteLost = parts[3].MisrouteLost
+	res.MisrouteNotAccepted = parts[3].MisrouteNotAccepted
 	return res
 }
 

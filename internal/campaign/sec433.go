@@ -44,6 +44,9 @@ type Sec433Result struct {
 // Sec433Options parameterizes the experiments.
 type Sec433Options struct {
 	Seed int64
+	// Workers runs the four independent experiments concurrently; <= 1 is
+	// serial. Results are identical either way.
+	Workers int
 }
 
 // macWindow renders the 4-entry compare window covering node i's MAC tail
@@ -59,13 +62,34 @@ func macLastByteReplace(v byte) string {
 	return fmt.Sprintf("CORRUPT REPLACE -- -- %02X --", v)
 }
 
-// RunSec433 executes the four experiments.
+// RunSec433 executes the four experiments. Like §4.3.2, each runs on its own
+// testbed and seed and fills a disjoint set of result fields, so they fan out
+// over the worker pool and merge.
 func RunSec433(opts Sec433Options) Sec433Result {
-	var res Sec433Result
-	res = runDestCorruption(opts.Seed, res)
-	res = runSelfAddressCorruption(opts.Seed+10, res)
-	res = runControllerDuplicate(opts.Seed+20, res)
-	res = runGhostAddress(opts.Seed+30, res)
+	parts := RunTrials(4, opts.Workers, func(i int) Sec433Result {
+		var r Sec433Result
+		switch i {
+		case 0:
+			return runDestCorruption(opts.Seed, r)
+		case 1:
+			return runSelfAddressCorruption(opts.Seed+10, r)
+		case 2:
+			return runControllerDuplicate(opts.Seed+20, r)
+		default:
+			return runGhostAddress(opts.Seed+30, r)
+		}
+	})
+	res := parts[0] // destination-corruption fields
+	res.SelfUnreachable = parts[1].SelfUnreachable
+	res.SelfMappingWorks = parts[1].SelfMappingWorks
+	res.SelfRoutingStable = parts[1].SelfRoutingStable
+	res.CtrlMapsInconsistent = parts[2].CtrlMapsInconsistent
+	res.CtrlMapsVary = parts[2].CtrlMapsVary
+	res.CtrlFigBefore = parts[2].CtrlFigBefore
+	res.CtrlFigAfter = parts[2].CtrlFigAfter
+	res.GhostInMap = parts[3].GhostInMap
+	res.RealGone = parts[3].RealGone
+	res.GhostTrafficDrops = parts[3].GhostTrafficDrops
 	return res
 }
 

@@ -26,66 +26,77 @@ type Sec434Result struct {
 // Sec434Options parameterizes the experiment.
 type Sec434Options struct {
 	Seed int64
+	// Workers runs the two independent halves concurrently; <= 1 is
+	// serial. Results are identical either way.
+	Workers int
 }
 
 const sec434Message = "Have a lot of fun"
 
-// RunSec434 executes both halves of the experiment.
+// sec434Evading runs the checksum-evading swap. "Have" (48 61 76 65)
+// becomes "veHa" (76 65 48 61): bytes 0<->2 and 1<->3 swap — 16 bits apart,
+// invisible to the one's-complement sum. The Myrinet CRC-8 is recomputed by
+// the injector (the real-time trigger), so only the end-to-end checksum
+// stands between the corruption and the application — and it passes.
+func sec434Evading(seed int64) (delivered bool, payload string) {
+	tb := NewTestbed(TestbedConfig{Seed: seed})
+	tap := tb.TapNode()
+	src := tb.Nodes[1]
+	var got []byte
+	if _, err := tap.Bind(loadDstPort, func(_ myrinet.MAC, _ uint16, data []byte) {
+		got = append([]byte(nil), data...)
+	}); err != nil {
+		panic(err)
+	}
+	tb.Configure(
+		"DIR R",
+		"COMPARE 48 61 76 65",         // "Have"
+		"CORRUPT REPLACE 76 65 48 61", // "veHa"
+		"CRC ON",
+		"MODE ONCE",
+	)
+	src.SendUDP(tap.MAC(), 9000, loadDstPort, []byte(sec434Message))
+	tb.K.RunFor(5 * sim.Millisecond)
+	return string(got) == "veHa a lot of fun", string(got)
+}
+
+// sec434NonEvading runs the control: a corruption that does not satisfy the
+// checksum ('H' → 'X') is detected and the packet dropped.
+func sec434NonEvading(seed int64) bool {
+	tb := NewTestbed(TestbedConfig{Seed: seed})
+	tap := tb.TapNode()
+	src := tb.Nodes[1]
+	delivered := false
+	if _, err := tap.Bind(loadDstPort, func(myrinet.MAC, uint16, []byte) {
+		delivered = true
+	}); err != nil {
+		panic(err)
+	}
+	tb.Configure(
+		"DIR R",
+		"COMPARE 48 61 76 65",
+		"CORRUPT REPLACE 58 -- -- --", // 'X'
+		"CRC ON",
+		"MODE ONCE",
+	)
+	src.SendUDP(tap.MAC(), 9000, loadDstPort, []byte(sec434Message))
+	tb.K.RunFor(5 * sim.Millisecond)
+	return !delivered && tap.Stats().ChecksumDrops == 1
+}
+
+// RunSec434 executes both halves of the experiment on separate testbeds.
 func RunSec434(opts Sec434Options) Sec434Result {
-	var res Sec434Result
-
-	// Half 1: the checksum-evading swap. "Have" (48 61 76 65) becomes
-	// "veHa" (76 65 48 61): bytes 0<->2 and 1<->3 swap — 16 bits apart,
-	// invisible to the one's-complement sum. The Myrinet CRC-8 is
-	// recomputed by the injector (the real-time trigger), so only the
-	// end-to-end checksum stands between the corruption and the
-	// application — and it passes.
-	{
-		tb := NewTestbed(TestbedConfig{Seed: opts.Seed})
-		tap := tb.TapNode()
-		src := tb.Nodes[1]
-		var got []byte
-		if _, err := tap.Bind(loadDstPort, func(_ myrinet.MAC, _ uint16, data []byte) {
-			got = append([]byte(nil), data...)
-		}); err != nil {
-			panic(err)
+	parts := RunTrials(2, opts.Workers, func(i int) Sec434Result {
+		var r Sec434Result
+		if i == 0 {
+			r.EvadingDelivered, r.EvadingPayload = sec434Evading(opts.Seed)
+		} else {
+			r.NonEvadingDropped = sec434NonEvading(opts.Seed + 1)
 		}
-		tb.Configure(
-			"DIR R",
-			"COMPARE 48 61 76 65",         // "Have"
-			"CORRUPT REPLACE 76 65 48 61", // "veHa"
-			"CRC ON",
-			"MODE ONCE",
-		)
-		src.SendUDP(tap.MAC(), 9000, loadDstPort, []byte(sec434Message))
-		tb.K.RunFor(5 * sim.Millisecond)
-		res.EvadingDelivered = string(got) == "veHa a lot of fun"
-		res.EvadingPayload = string(got)
-	}
-
-	// Half 2: a corruption that does not satisfy the checksum ('H' → 'X')
-	// is detected and the packet dropped.
-	{
-		tb := NewTestbed(TestbedConfig{Seed: opts.Seed + 1})
-		tap := tb.TapNode()
-		src := tb.Nodes[1]
-		delivered := false
-		if _, err := tap.Bind(loadDstPort, func(myrinet.MAC, uint16, []byte) {
-			delivered = true
-		}); err != nil {
-			panic(err)
-		}
-		tb.Configure(
-			"DIR R",
-			"COMPARE 48 61 76 65",
-			"CORRUPT REPLACE 58 -- -- --", // 'X'
-			"CRC ON",
-			"MODE ONCE",
-		)
-		src.SendUDP(tap.MAC(), 9000, loadDstPort, []byte(sec434Message))
-		tb.K.RunFor(5 * sim.Millisecond)
-		res.NonEvadingDropped = !delivered && tap.Stats().ChecksumDrops == 1
-	}
+		return r
+	})
+	res := parts[0]
+	res.NonEvadingDropped = parts[1].NonEvadingDropped
 	return res
 }
 

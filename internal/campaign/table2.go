@@ -39,6 +39,10 @@ type Table2Options struct {
 	Rounds int
 	// Payload is the "small UDP packet" size. Zero selects 32.
 	Payload int
+	// Workers runs the experiments concurrently; <= 1 is serial. Results
+	// are identical either way: the shared phase RNG is drained serially
+	// up front, so no rand.Rand crosses a goroutine boundary.
+	Workers int
 }
 
 func (o *Table2Options) fillDefaults() {
@@ -92,24 +96,31 @@ func table2Run(seed int64, phaseA, phaseB sim.Duration, rounds, payload int, wit
 // RunTable2 executes the five experiments.
 func RunTable2(opts Table2Options) []Table2Experiment {
 	opts.fillDefaults()
+	// Independent interrupt phases per run: rebooting the hosts between
+	// experiments realigns their timer grids. The draws come from ONE
+	// rand.Rand, which must never be shared across trial goroutines —
+	// drain it serially here (four draws per experiment, in the original
+	// without-A, without-B, with-A, with-B order) before fanning out.
 	rng := sim.NewKernel(opts.Seed).Rand()
-	out := make([]Table2Experiment, 0, opts.Experiments)
-	for i := 0; i < opts.Experiments; i++ {
-		// Independent interrupt phases per run: rebooting the hosts
-		// between experiments realigns their timer grids.
-		phase := func() sim.Duration { return sim.Duration(rng.Int63n(int64(sim.Microsecond))) }
-		without, _ := table2Run(opts.Seed+int64(100+i), phase(), phase(), opts.Rounds, opts.Payload, false)
-		with, dev := table2Run(opts.Seed+int64(200+i), phase(), phase(), opts.Rounds, opts.Payload, true)
-		out = append(out, Table2Experiment{
+	phases := make([][4]sim.Duration, opts.Experiments)
+	for i := range phases {
+		for j := 0; j < 4; j++ {
+			phases[i][j] = sim.Duration(rng.Int63n(int64(sim.Microsecond)))
+		}
+	}
+	return RunTrials(opts.Experiments, opts.Workers, func(i int) Table2Experiment {
+		p := phases[i]
+		without, _ := table2Run(opts.Seed+int64(100+i), p[0], p[1], opts.Rounds, opts.Payload, false)
+		with, dev := table2Run(opts.Seed+int64(200+i), p[2], p[3], opts.Rounds, opts.Payload, true)
+		return Table2Experiment{
 			Index:          i + 1,
 			WithoutPerPkt:  without,
 			WithPerPkt:     with,
 			AddedLatency:   with - without,
 			TrueDeviceLag:  dev.Latency(),
 			RoundsMeasured: opts.Rounds,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // FormatTable2 renders the experiments like the paper's Table 2.

@@ -33,6 +33,10 @@ type Table4Options struct {
 	// toggling the board's match mode a few times per burst period.
 	DutyOn     sim.Duration
 	DutyPeriod sim.Duration
+	// Workers runs the nine rows concurrently; <= 1 is serial. Each row is
+	// an independent simulation from its own seed, so results are
+	// identical either way.
+	Workers int
 }
 
 func (o *Table4Options) fillDefaults() {
@@ -124,16 +128,14 @@ func RunTable4Row(mask, replacement myrinet.Symbol, opts Table4Options) Table4Ro
 	}
 }
 
-// RunTable4 executes all nine rows.
+// RunTable4 executes all nine rows over the worker pool.
 func RunTable4(opts Table4Options) []Table4Row {
 	pairs := Table4Pairs()
-	rows := make([]Table4Row, 0, len(pairs))
-	for i, p := range pairs {
+	return RunTrials(len(pairs), opts.Workers, func(i int) Table4Row {
 		rowOpts := opts
 		rowOpts.Seed = opts.Seed + int64(i)
-		rows = append(rows, RunTable4Row(p[0], p[1], rowOpts))
-	}
-	return rows
+		return RunTable4Row(pairs[i][0], pairs[i][1], rowOpts)
+	})
 }
 
 // FormatTable4 renders rows like the paper's Table 4, with the published

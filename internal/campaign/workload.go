@@ -136,8 +136,10 @@ func (l *Load) tick() {
 			l.sent++
 		}
 	}
-	l.tb.K.After(l.period, l.tick)
+	l.tb.K.AfterArg(l.period, loadTick, l)
 }
+
+func loadTick(a any) { a.(*Load).tick() }
 
 // payload builds a tagged, sequence-stamped body free of control-symbol
 // byte values.

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"netfi/internal/phy"
+	"netfi/internal/sim"
+)
+
+// The injector's per-symbol path — push, compare, inject, pop — must not
+// allocate: it is clocked once per character for every character that
+// crosses the tap, in both directions.
+func TestEngineProcessZeroAlloc(t *testing.T) {
+	e := NewEngine(DefaultSlackChars)
+	cfg := Config{Match: MatchOn, Corrupt: CorruptToggle}
+	cfg.CompareData[WindowSize-1] = phy.DataChar(0x7F)
+	cfg.CompareMask[WindowSize-1] = MaskFull
+	cfg.CorruptData[WindowSize-1] = phy.Character(0x01)
+	e.Configure(cfg)
+
+	// Sanity: the compare/inject machinery is live (an injection event may
+	// allocate — it records a capture — so it stays out of the hot loop).
+	_ = e.Process([]phy.Character{phy.DataChar(0x7F)})
+	if _, matches, injections := e.Stats(); matches != 1 || injections != 1 {
+		t.Fatalf("compare engine inactive: matches=%d injections=%d", matches, injections)
+	}
+
+	// Steady state: every character is pushed, compared against the armed
+	// pattern, and popped — with no trigger and no allocation.
+	burst := make([]phy.Character, 64)
+	for i := range burst {
+		burst[i] = phy.DataChar(byte(0x20 + i))
+	}
+	for i := 0; i < 50; i++ {
+		_ = e.Process(burst) // warm the scratch buffer and drain the capture
+	}
+	if avg := testing.AllocsPerRun(200, func() { _ = e.Process(burst) }); avg != 0 {
+		t.Errorf("Process allocates %.2f objects per 64-char burst, want 0", avg)
+	}
+	if chars, _, _ := e.Stats(); chars == 0 {
+		t.Fatal("datapath saw no characters")
+	}
+}
+
+// The full device path — link delivery into the port, idle fill, engine
+// clocking, pooled batch deliveries downstream — must also be allocation-free
+// in steady state (amortized: the entries bookkeeping reuses its backing).
+func TestDevicePathSteadyStateAllocs(t *testing.T) {
+	k := sim.NewKernel(1)
+	dev := NewDevice(k, DeviceConfig{Name: "alloc", IdleChar: phy.ControlChar(0x07)})
+	sink := phy.ReceiverFunc(func(chars []phy.Character) { phy.ReleaseBurst(chars) })
+	cfg := phy.LinkConfig{Name: "in", CharPeriod: 12_500 * sim.Picosecond, PropDelay: 5 * sim.Nanosecond}
+	link := phy.NewLink(k, cfg, sink)
+	dev.InsertDirection(LeftToRight, link)
+
+	burst := make([]phy.Character, 32)
+	for i := range burst {
+		burst[i] = phy.DataChar(byte(0x20 + i))
+	}
+	cycle := func() {
+		link.Send(burst)
+		k.Run()
+	}
+	for i := 0; i < 100; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg > 0.1 {
+		t.Errorf("device path allocates %.2f objects/op in steady state, want ~0", avg)
+	}
+}

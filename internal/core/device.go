@@ -85,6 +85,8 @@ type devicePort struct {
 	entries    []sim.Time
 	flushArmed bool
 	flushEvent sim.EventID
+
+	fillBuf []phy.Character // reused idle-fill scratch
 }
 
 // NewDevice builds an injector.
@@ -155,7 +157,10 @@ func (p *devicePort) Receive(chars []phy.Character) {
 	start := now - sim.Duration(len(chars))*period
 	if eng.Pending() > 0 && start > p.lastEnd {
 		if idle := int((start - p.lastEnd) / period); idle > 0 {
-			fill := make([]phy.Character, idle)
+			if cap(p.fillBuf) < idle {
+				p.fillBuf = make([]phy.Character, idle)
+			}
+			fill := p.fillBuf[:idle]
 			for i := range fill {
 				fill[i] = d.cfg.IdleChar
 				p.entries = append(p.entries, p.lastEnd+sim.Duration(i+1)*period)
@@ -172,6 +177,7 @@ func (p *devicePort) Receive(chars []phy.Character) {
 	}
 	p.deliver(eng.Process(chars))
 	p.armFlush()
+	phy.ReleaseBurst(chars)
 }
 
 // deliver schedules released characters downstream at entry time plus the
@@ -187,25 +193,23 @@ func (p *devicePort) deliver(out []phy.Character) {
 	latency := p.dev.Latency()
 	now := p.dev.k.Now()
 	dst := p.downstream
-	emit := func(batch []phy.Character, entry sim.Time) {
-		at := entry + latency
+	k := p.dev.k
+	// out is the engine's scratch buffer, so each batch is copied into a
+	// pooled burst of its own before it enters the event queue.
+	for i := 0; i < len(out); {
+		j := i + 1
+		if out[i].IsData() {
+			for j < len(out) && out[j].IsData() {
+				j++
+			}
+		}
+		at := p.entries[j-1] + latency
 		if at < now {
 			at = now
 		}
-		p.dev.k.At(at, func() { dst.Receive(batch) })
-	}
-	i := 0
-	for i < len(out) {
-		if !out[i].IsData() {
-			emit(out[i:i+1], p.entries[i])
-			i++
-			continue
-		}
-		j := i
-		for j < len(out) && out[j].IsData() {
-			j++
-		}
-		emit(out[i:j], p.entries[j-1])
+		batch := phy.GetBurst(j - i)
+		copy(batch, out[i:j])
+		phy.ScheduleReceive(k, at, dst, batch)
 		i = j
 	}
 	rest := p.entries[len(out):]
@@ -233,10 +237,13 @@ func (p *devicePort) armFlush() {
 		return
 	}
 	p.flushArmed = true
-	p.flushEvent = p.dev.k.After(sim.Duration(p.dev.cfg.SlackChars)*p.dev.cfg.CharPeriod, func() {
-		p.flushArmed = false
-		p.deliver(eng.Flush())
-	})
+	p.flushEvent = p.dev.k.AfterArg(sim.Duration(p.dev.cfg.SlackChars)*p.dev.cfg.CharPeriod, portFlush, p)
+}
+
+func portFlush(a any) {
+	p := a.(*devicePort)
+	p.flushArmed = false
+	p.deliver(p.dev.engines[p.dir].Flush())
 }
 
 var _ phy.Receiver = (*devicePort)(nil)

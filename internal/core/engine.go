@@ -162,6 +162,12 @@ type Engine struct {
 	resetsSeen uint64
 
 	capture *CaptureRing
+
+	// Reusable output scratch. Process and Flush keep separate buffers so
+	// the common `append(e.Process(x), e.Flush()...)` composition stays
+	// valid: each call's result survives until that same method runs again.
+	procOut  []phy.Character
+	flushOut []phy.Character
 }
 
 // winEntry is one compare-register position: the original character and its
@@ -252,9 +258,11 @@ func (e *Engine) ResetsSeen() uint64 { return e.resetsSeen }
 
 // Process clocks the engine over a burst of input characters and returns
 // the characters released downstream. The engine holds back its slack, so
-// output lags input by exactly the pipeline depth.
+// output lags input by exactly the pipeline depth. The returned slice is a
+// reused scratch buffer, valid until the next Process call: this is the
+// per-symbol hot path of every campaign, and it must not allocate.
 func (e *Engine) Process(chars []phy.Character) []phy.Character {
-	out := make([]phy.Character, 0, len(chars))
+	out := e.procOut[:0]
 	for _, c := range chars {
 		// Odd cycle: push + shift (the FIFO always has room — the drain
 		// below keeps count at the slack level).
@@ -269,19 +277,23 @@ func (e *Engine) Process(chars []phy.Character) []phy.Character {
 			}
 		}
 	}
+	e.procOut = out
 	return out
 }
 
 // Flush drains the held-back pipeline (the characters that idle fill would
 // push out once the link goes quiet) and idle-fills the compare register.
+// Like Process, it returns a reused scratch buffer, valid until the next
+// Flush call.
 func (e *Engine) Flush() []phy.Character {
-	out := make([]phy.Character, 0, e.count)
+	out := e.flushOut[:0]
 	for e.count > 0 {
 		if ch, ok := e.popOne(); ok {
 			out = append(out, ch)
 		}
 	}
 	e.resetWindow()
+	e.flushOut = out
 	return out
 }
 

@@ -260,6 +260,8 @@ func (p *NPort) Receive(chars []phy.Character) {
 		// Data outside a frame and outside an ordered set: line noise,
 		// ignored.
 	}
+	// Every code group was decoded into the port's own buffers.
+	phy.ReleaseBurst(chars)
 }
 
 // abortFrame drops an in-progress frame (code violation mid-frame).

@@ -145,8 +145,10 @@ func (f *Flood) tick() {
 	}
 	f.node.SendUDP(f.dst, f.srcPort, f.dstPort, f.payload())
 	f.sent++
-	f.k.After(f.interval, f.tick)
+	f.k.AfterArg(f.interval, floodTick, f)
 }
+
+func floodTick(a any) { a.(*Flood).tick() }
 
 // payload builds a sequence-stamped body that avoids the forbidden bytes.
 func (f *Flood) payload() []byte {

@@ -168,7 +168,7 @@ func (lc *LinkController) Paused() bool { return lc.paused }
 // SendControl transmits a single control symbol immediately (it interleaves
 // after whatever chunk the link is currently serializing).
 func (lc *LinkController) SendControl(code byte) {
-	lc.out.Send([]phy.Character{phy.ControlChar(code)})
+	lc.out.SendOne(phy.ControlChar(code))
 }
 
 // StreamChars appends characters to the streaming transmit buffer. Switch
@@ -201,13 +201,17 @@ func (lc *LinkController) scheduleTx() {
 		return
 	}
 	lc.txScheduled = true
-	// Run when the transmitter is free; immediately if it already is.
+	// Run when the transmitter is free; immediately if it already is. The
+	// capture-free form matters here: this fires once per transmitted
+	// chunk, and a method-value closure per chunk would allocate.
 	at := lc.out.BusyUntil()
 	if at < lc.k.Now() {
 		at = lc.k.Now()
 	}
-	lc.k.At(at, lc.txStep)
+	lc.k.AtArg(at, txStepFn, lc)
 }
+
+func txStepFn(a any) { a.(*LinkController).txStep() }
 
 func (lc *LinkController) txStep() {
 	lc.txScheduled = false
@@ -335,7 +339,7 @@ func (lc *LinkController) onLongTimeout() {
 		// flush local state and tear the wedged path down with a
 		// forward RESET so downstream hops do not stay held for another
 		// long-timeout period each.
-		lc.out.Send([]phy.Character{charGap})
+		lc.out.SendOne(charGap)
 		if victim.onDone != nil {
 			victim.onDone(true)
 		}
@@ -343,7 +347,7 @@ func (lc *LinkController) onLongTimeout() {
 		return
 	}
 	// Terminate the packet on the wire so downstream paths release.
-	lc.out.Send([]phy.Character{charGap})
+	lc.out.SendOne(charGap)
 	if victim.onDone != nil {
 		victim.onDone(true)
 	}
@@ -372,7 +376,7 @@ func (lc *LinkController) onStopWatchdog() {
 		victim := lc.cur
 		lc.cur = nil
 		lc.ctr.Drop(DropTerminated)
-		lc.out.Send([]phy.Character{charGap})
+		lc.out.SendOne(charGap)
 		if victim.onDone != nil {
 			victim.onDone(true)
 		}
@@ -387,7 +391,7 @@ func (lc *LinkController) onStopWatchdog() {
 func (lc *LinkController) resetLink() {
 	lc.ctr.LinkResets++
 	lc.ctr.FlushedChars += uint64(lc.slack.Flush())
-	lc.out.SendPriority([]phy.Character{charReset})
+	lc.out.SendPriorityOne(charReset)
 	if lc.onReset != nil {
 		lc.onReset()
 	}
@@ -446,13 +450,16 @@ func (lc *LinkController) Receive(chars []phy.Character) {
 	if pushed && lc.notify != nil {
 		lc.notify()
 	}
+	// The burst was copied into the slack buffer character by character;
+	// hand the pooled buffer back.
+	phy.ReleaseBurst(chars)
 }
 
 // assertStop is the slack buffer's high-watermark callback: issue STOP and
 // keep refreshing it so the remote's short-period timer does not release it.
 func (lc *LinkController) assertStop() {
 	lc.ctr.StopsSent++
-	lc.out.SendPriority([]phy.Character{charStop})
+	lc.out.SendPriorityOne(charStop)
 	lc.armRefresh()
 }
 
@@ -461,8 +468,10 @@ func (lc *LinkController) armRefresh() {
 		return
 	}
 	lc.refreshOn = true
-	lc.refreshEvent = lc.k.After(StopRefresh, lc.refreshStop)
+	lc.refreshEvent = lc.k.AfterArg(StopRefresh, refreshStopFn, lc)
 }
+
+func refreshStopFn(a any) { a.(*LinkController).refreshStop() }
 
 func (lc *LinkController) refreshStop() {
 	lc.refreshOn = false
@@ -470,7 +479,7 @@ func (lc *LinkController) refreshStop() {
 		return
 	}
 	lc.ctr.StopsSent++
-	lc.out.SendPriority([]phy.Character{charStop})
+	lc.out.SendPriorityOne(charStop)
 	lc.armRefresh()
 }
 
@@ -481,7 +490,7 @@ func (lc *LinkController) assertGo() {
 		lc.refreshOn = false
 	}
 	lc.ctr.GosSent++
-	lc.out.SendPriority([]phy.Character{charGo})
+	lc.out.SendPriorityOne(charGo)
 }
 
 var _ phy.Receiver = (*LinkController)(nil)

@@ -42,7 +42,7 @@ func DefaultLinkConfig(name string) phy.LinkConfig {
 // nullReceiver discards characters; used as a placeholder while wiring.
 type nullReceiver struct{}
 
-func (nullReceiver) Receive([]phy.Character) {}
+func (nullReceiver) Receive(chars []phy.Character) { phy.ReleaseBurst(chars) }
 
 // Connect builds a full-duplex cable between a and b and wires both ends.
 // It returns the cable so the fault injector can later be spliced into it.

@@ -1,0 +1,72 @@
+package phy
+
+import (
+	"testing"
+
+	"netfi/internal/sim"
+)
+
+// releasingSink consumes deliveries and returns the buffers to the pool,
+// as a pool-aware receiver does.
+type releasingSink struct{ chars uint64 }
+
+func (s *releasingSink) Receive(chars []Character) {
+	s.chars += uint64(len(chars))
+	ReleaseBurst(chars)
+}
+
+// Link delivery is the single hottest edge in a campaign: every character of
+// every packet crosses at least two links. After the pools warm up, a
+// send/deliver cycle must not allocate at all.
+func TestLinkDeliveryZeroAlloc(t *testing.T) {
+	k := sim.NewKernel(1)
+	sink := &releasingSink{}
+	link := NewLink(k, LinkConfig{Name: "alloc", CharPeriod: 12_500 * sim.Picosecond, PropDelay: 5 * sim.Nanosecond}, sink)
+	burst := make([]Character, 64)
+	for i := range burst {
+		burst[i] = DataChar(byte(i))
+	}
+	cycle := func() {
+		link.Send(burst)
+		link.SendOne(ControlChar(0x0C))
+		link.SendPriorityOne(ControlChar(0x09))
+		k.Run()
+	}
+	for i := 0; i < 100; i++ {
+		cycle() // warm the burst, delivery, and event pools
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Errorf("link delivery cycle allocates %.2f objects/op, want 0", avg)
+	}
+	if sink.chars == 0 {
+		t.Fatal("sink received nothing")
+	}
+}
+
+func TestBurstPoolRoundTrip(t *testing.T) {
+	b := GetBurst(100)
+	if len(b) != 100 {
+		t.Fatalf("len = %d, want 100", len(b))
+	}
+	if cap(b) != 128 {
+		t.Fatalf("cap = %d, want the 128 size class", cap(b))
+	}
+	ReleaseBurst(b)
+	b2 := GetBurst(65)
+	if cap(b2) != 128 {
+		t.Fatalf("cap after recycle = %d, want 128", cap(b2))
+	}
+	// Foreign and undersized slices are ignored, never pooled.
+	ReleaseBurst(make([]Character, 5))
+	ReleaseBurst(make([]Character, 0, 100))
+	ReleaseBurst(nil)
+	if got := GetBurst(0); got != nil {
+		t.Errorf("GetBurst(0) = %v, want nil", got)
+	}
+	// Oversize requests fall through to plain allocation.
+	big := GetBurst(1 << 17)
+	if len(big) != 1<<17 {
+		t.Fatalf("oversize len = %d", len(big))
+	}
+	ReleaseBurst(big) // ignored: above the largest class
+}

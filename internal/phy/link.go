@@ -55,7 +55,11 @@ func DataChars(b []byte) []Character {
 }
 
 // Receiver consumes characters delivered by a link. The slice is owned by
-// the receiver after the call (links never reuse delivered buffers).
+// the receiver after the call: links never touch a delivered buffer again.
+// Delivered buffers come from the burst pool, so a receiver that is done
+// with the slice when Receive returns may hand it back with ReleaseBurst;
+// receivers that retain the slice simply keep it (the pool never reclaims a
+// buffer that was not explicitly released).
 type Receiver interface {
 	Receive(chars []Character)
 }
@@ -149,7 +153,13 @@ func (l *Link) Send(chars []Character) sim.Time {
 	if len(chars) == 0 {
 		return l.k.Now()
 	}
-	burst := append([]Character(nil), chars...)
+	burst := GetBurst(len(chars))
+	copy(burst, chars)
+	return l.sendOwned(burst)
+}
+
+// sendOwned queues a burst the link already owns (a pooled copy).
+func (l *Link) sendOwned(burst []Character) sim.Time {
 	start := l.k.Now()
 	if l.busyUntil > start {
 		start = l.busyUntil
@@ -159,7 +169,7 @@ func (l *Link) Send(chars []Character) sim.Time {
 	arrival := end + l.propDelay
 	l.chars += uint64(len(burst))
 	l.bursts++
-	l.k.At(arrival, func() { l.dst.Receive(burst) })
+	ScheduleReceive(l.k, arrival, l.dst, burst)
 	return arrival
 }
 
@@ -173,19 +183,40 @@ func (l *Link) SendPriority(chars []Character) sim.Time {
 	if len(chars) == 0 {
 		return l.k.Now()
 	}
-	burst := append([]Character(nil), chars...)
+	burst := GetBurst(len(chars))
+	copy(burst, chars)
+	return l.sendPriorityOwned(burst)
+}
+
+func (l *Link) sendPriorityOwned(burst []Character) sim.Time {
 	arrival := l.k.Now() + sim.Duration(len(burst))*l.charPeriod + l.propDelay
 	l.chars += uint64(len(burst))
 	l.bursts++
-	l.k.At(arrival, func() { l.dst.Receive(burst) })
+	ScheduleReceive(l.k, arrival, l.dst, burst)
 	return arrival
 }
 
+// SendOne transmits a single character without the caller building a slice;
+// flow-control symbols (STOP/GO/GAP) dominate link traffic, so this path
+// must not allocate.
+func (l *Link) SendOne(c Character) sim.Time {
+	burst := GetBurst(1)
+	burst[0] = c
+	return l.sendOwned(burst)
+}
+
+// SendPriorityOne is SendOne with SendPriority's preemption semantics.
+func (l *Link) SendPriorityOne(c Character) sim.Time {
+	burst := GetBurst(1)
+	burst[0] = c
+	return l.sendPriorityOwned(burst)
+}
+
 // SendByte transmits a single data byte.
-func (l *Link) SendByte(b byte) sim.Time { return l.Send([]Character{DataChar(b)}) }
+func (l *Link) SendByte(b byte) sim.Time { return l.SendOne(DataChar(b)) }
 
 // SendControl transmits a single control character.
-func (l *Link) SendControl(code byte) sim.Time { return l.Send([]Character{ControlChar(code)}) }
+func (l *Link) SendControl(code byte) sim.Time { return l.SendOne(ControlChar(code)) }
 
 // BusyUntil reports when the transmitter finishes its current queue.
 func (l *Link) BusyUntil() sim.Time { return l.busyUntil }

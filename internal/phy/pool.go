@@ -1,0 +1,120 @@
+package phy
+
+import (
+	"math/bits"
+	"sync"
+
+	"netfi/internal/sim"
+)
+
+// Burst-buffer pool. Every burst a link delivers is copied into a pooled
+// buffer, and the pool only reclaims a buffer when its receiver explicitly
+// hands it back with ReleaseBurst — so a receiver that retains the slice
+// (the documented legacy contract) is always safe: the buffer simply falls
+// out of the pool and the garbage collector reclaims it as before.
+//
+// Buffers are size-classed by power-of-two capacity. The free lists are
+// guarded by per-class mutexes rather than sync.Pool because Put-ing a slice
+// into a sync.Pool boxes it (one allocation per release), which would defeat
+// the zero-allocs-per-burst goal the regression tests pin.
+
+const (
+	minBurstBits = 4  // smallest pooled class: 16 characters
+	maxBurstBits = 16 // largest pooled class: 65536 characters
+)
+
+type burstClass struct {
+	mu   sync.Mutex
+	free [][]Character
+}
+
+var burstClasses [maxBurstBits + 1]burstClass
+
+func burstClassFor(n int) int {
+	c := bits.Len(uint(n - 1)) // ceil(log2 n) for n > 1
+	if c < minBurstBits {
+		c = minBurstBits
+	}
+	return c
+}
+
+// GetBurst returns a buffer of length n, recycled from the pool when one is
+// available. The contents are unspecified; callers overwrite them.
+func GetBurst(n int) []Character {
+	if n <= 0 {
+		return nil
+	}
+	if n > 1<<maxBurstBits {
+		return make([]Character, n)
+	}
+	cl := &burstClasses[burstClassFor(n)]
+	cl.mu.Lock()
+	if last := len(cl.free) - 1; last >= 0 {
+		b := cl.free[last]
+		cl.free[last] = nil
+		cl.free = cl.free[:last]
+		cl.mu.Unlock()
+		return b[:n]
+	}
+	cl.mu.Unlock()
+	return make([]Character, n, 1<<burstClassFor(n))
+}
+
+// ReleaseBurst returns a delivered burst to the pool. Callers must release
+// exactly the slice they were handed, must not touch it afterwards, and must
+// not release a buffer twice. Releasing is always optional — an unreleased
+// buffer is collected by the GC — and foreign slices whose capacity is not a
+// pooled power of two are ignored.
+func ReleaseBurst(b []Character) {
+	c := cap(b)
+	if c < 1<<minBurstBits || c > 1<<maxBurstBits || c&(c-1) != 0 {
+		return
+	}
+	cl := &burstClasses[bits.Len(uint(c))-1]
+	cl.mu.Lock()
+	cl.free = append(cl.free, b[:0])
+	cl.mu.Unlock()
+}
+
+// delivery carries one pending Receive call through the kernel without a
+// closure. Deliveries are pooled like bursts.
+type delivery struct {
+	dst   Receiver
+	chars []Character
+	next  *delivery
+}
+
+var deliveryPool struct {
+	mu   sync.Mutex
+	free *delivery
+}
+
+func deliverBurst(a any) {
+	d := a.(*delivery)
+	dst, chars := d.dst, d.chars
+	d.dst, d.chars = nil, nil
+	deliveryPool.mu.Lock()
+	d.next = deliveryPool.free
+	deliveryPool.free = d
+	deliveryPool.mu.Unlock()
+	dst.Receive(chars)
+}
+
+// ScheduleReceive schedules dst.Receive(chars) at virtual time at, passing
+// ownership of chars to the receiver. It is the allocation-free spelling of
+// k.At(at, func() { dst.Receive(chars) }) and is exported so devices that
+// forward pooled buffers (e.g. the injector's ports) can reuse it.
+func ScheduleReceive(k *sim.Kernel, at sim.Time, dst Receiver, chars []Character) sim.EventID {
+	deliveryPool.mu.Lock()
+	d := deliveryPool.free
+	if d != nil {
+		deliveryPool.free = d.next
+		d.next = nil
+	}
+	deliveryPool.mu.Unlock()
+	if d == nil {
+		d = new(delivery)
+	}
+	d.dst, d.chars = dst, chars
+	return k.AtArg(at, deliverBurst, d)
+}

@@ -3,16 +3,25 @@
 // All network, host, and injector models in this repository are driven by a
 // single Kernel per simulation. The kernel keeps a virtual clock with
 // picosecond resolution (so the 12.5 ns Myrinet character period at 80 MB/s
-// is exactly representable), a priority queue of scheduled events, and a
-// seeded random source. Two runs with the same seed and the same model code
-// produce byte-identical traces: event ties are broken by insertion order,
-// and no global mutable state is used.
+// is exactly representable), a scheduler of pending events, and a seeded
+// random source. Two runs with the same seed and the same model code produce
+// byte-identical traces: event ties are broken by insertion order, and no
+// global mutable state is used.
+//
+// The scheduler is a hierarchical timer wheel (three levels, 16.4 ns ticks,
+// ~17 ms horizon) for the short-horizon character-period events that dominate
+// a simulation, with a binary-heap fallback for long timers. Events are
+// recycled through a free list, and the AtArg/AfterArg variants schedule a
+// callback without a per-call closure allocation, so the steady-state event
+// path does not allocate. Fire order is exactly (time, insertion sequence) —
+// identical to a plain priority queue, as the equivalence test pins down.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"slices"
 )
 
 // Time is a point in virtual time, in picoseconds since simulation start.
@@ -69,18 +78,30 @@ func trimUnit(v float64, unit string) string {
 	return s + unit
 }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are pooled: fired and harvested-
+// canceled events return to a kernel-local free list, and gen distinguishes
+// the lifetimes so a stale EventID (for example a Cancel after the event
+// already fired) cannot touch a recycled slot.
 type event struct {
 	at  Time
 	seq uint64 // insertion order; breaks ties deterministically
-	fn  func()
 
-	index    int // heap index
+	fn  func()    // closure form (At/After)
+	afn func(any) // capture-free form (AtArg/AfterArg)
+	arg any
+
+	gen      uint64
 	canceled bool
+
+	next  *event // wheel slot chain, or free-list link
+	index int    // heap index; -1 when not in the heap
 }
 
 // EventID identifies a scheduled event so it can be canceled.
-type EventID struct{ ev *event }
+type EventID struct {
+	ev  *event
+	gen uint64
+}
 
 // eventHeap orders events by (at, seq).
 type eventHeap []*event
@@ -112,22 +133,57 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// Timer-wheel geometry. One level-0 tick is 2^14 ps ≈ 16.4 ns — about 1.3
+// Myrinet character periods — so the per-character delivery events that
+// dominate a campaign land in level 0. The three levels together cover a
+// 2^34 ps ≈ 17.2 ms horizon (flow-control refreshes, injector pipeline
+// flushes, burst periods); anything farther out (watchdogs, mapping rounds,
+// message gaps) takes the heap fallback.
+const (
+	tickBits = 14
+	l0Bits   = 8 // 256 slots × 16.4 ns  ≈ 4.3 us
+	l1Bits   = 6 // 64 slots  × 4.3 us   ≈ 275 us
+	l2Bits   = 6 // 64 slots  × 275 us   ≈ 17.6 ms
+
+	l0Slots = 1 << l0Bits
+	l1Slots = 1 << l1Bits
+	l2Slots = 1 << l2Bits
+)
+
 // Kernel is a deterministic discrete-event scheduler.
 //
 // The zero value is not usable; construct with NewKernel.
 type Kernel struct {
 	now       Time
-	queue     eventHeap
 	seq       uint64
 	rng       *rand.Rand
 	processed uint64
 	stopped   bool
+	live      int // scheduled, not yet fired, not canceled
+
+	// Heap fallback: events beyond the wheel horizon, in exact order.
+	queue eventHeap
+
+	// Timer wheel. c0 is the harvest frontier: the next absolute level-0
+	// tick to be swept. cur holds the harvested events of the frontier
+	// slot, sorted by (at, seq); curPos is the consume cursor into it.
+	levels   [3][]*event
+	lvlCount [3]int
+	c0       uint64
+	cur      []*event
+	curPos   int
+
+	free *event // recycled event structs
 }
 
 // NewKernel returns a kernel with its clock at zero and a random source
 // seeded with seed.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+	k := &Kernel{rng: rand.New(rand.NewSource(seed))}
+	k.levels[0] = make([]*event, l0Slots)
+	k.levels[1] = make([]*event, l1Slots)
+	k.levels[2] = make([]*event, l2Slots)
+	return k
 }
 
 // Now returns the current virtual time.
@@ -140,19 +196,13 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 func (k *Kernel) Processed() uint64 { return k.processed }
 
 // Pending reports how many events are scheduled and not yet executed.
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return k.live }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: that is always a model bug, and silently reordering time would make
 // every downstream result wrong.
 func (k *Kernel) At(t Time, fn func()) EventID {
-	if t < k.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
-	}
-	ev := &event{at: t, seq: k.seq, fn: fn}
-	k.seq++
-	heap.Push(&k.queue, ev)
-	return EventID{ev: ev}
+	return k.schedule(t, fn, nil, nil)
 }
 
 // After schedules fn to run d after the current time.
@@ -160,31 +210,283 @@ func (k *Kernel) After(d Duration, fn func()) EventID {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	return k.At(k.now+d, fn)
+	return k.schedule(k.now+d, fn, nil, nil)
+}
+
+// AtArg schedules fn(arg) at absolute virtual time t. Unlike At, the
+// callback captures nothing: callers on hot paths pass a reused callee and
+// its receiver, so scheduling allocates no closure — with the event pool,
+// nothing at all in steady state.
+func (k *Kernel) AtArg(t Time, fn func(any), arg any) EventID {
+	return k.schedule(t, nil, fn, arg)
+}
+
+// AfterArg schedules fn(arg) to run d after the current time; see AtArg.
+func (k *Kernel) AfterArg(d Duration, fn func(any), arg any) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.schedule(k.now+d, nil, fn, arg)
+}
+
+func (k *Kernel) schedule(t Time, fn func(), afn func(any), arg any) EventID {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	ev := k.alloc()
+	ev.at = t
+	ev.seq = k.seq
+	ev.fn, ev.afn, ev.arg = fn, afn, arg
+	k.seq++
+	k.live++
+	k.place(ev)
+	return EventID{ev: ev, gen: ev.gen}
+}
+
+// place routes an event to its wheel slot, the current-slot buffer, or the
+// long-timer heap. Placement never affects fire order — only where the event
+// waits — so the only invariant is that a slot is swept no later than its
+// events fall due; the level tests below guarantee it because a level-L slot
+// cascades exactly when the frontier reaches its first level-0 tick.
+func (k *Kernel) place(ev *event) {
+	t0 := uint64(ev.at) >> tickBits
+	if k.lvlCount[0] == 0 && k.lvlCount[1] == 0 && k.lvlCount[2] == 0 {
+		// Idle wheel: snap the frontier over the gap so a long-idle
+		// simulation does not sweep empty slots to catch up.
+		if nowTick := uint64(k.now) >> tickBits; nowTick > k.c0 {
+			k.c0 = nowTick
+		}
+	}
+	switch {
+	case t0 < k.c0:
+		// The frontier already swept this tick (the clock sits inside
+		// it): the event joins the sorted current-slot buffer.
+		k.insertCur(ev)
+	case t0-k.c0 < l0Slots:
+		k.push(0, int(t0&(l0Slots-1)), ev)
+	case t0>>l0Bits-k.c0>>l0Bits < l1Slots:
+		k.push(1, int(t0>>l0Bits&(l1Slots-1)), ev)
+	case t0>>(l0Bits+l1Bits)-k.c0>>(l0Bits+l1Bits) < l2Slots:
+		k.push(2, int(t0>>(l0Bits+l1Bits)&(l2Slots-1)), ev)
+	default:
+		heap.Push(&k.queue, ev)
+	}
+}
+
+func (k *Kernel) push(level, slot int, ev *event) {
+	ev.next = k.levels[level][slot]
+	k.levels[level][slot] = ev
+	k.lvlCount[level]++
+}
+
+// insertCur inserts ev into the unconsumed tail of the current-slot buffer,
+// keeping it sorted by (at, seq).
+func (k *Kernel) insertCur(ev *event) {
+	cur := k.cur
+	lo, hi := k.curPos, len(cur)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cur[mid].at < ev.at || (cur[mid].at == ev.at && cur[mid].seq < ev.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	k.cur = append(cur, nil)
+	copy(k.cur[lo+1:], k.cur[lo:])
+	k.cur[lo] = ev
 }
 
 // Cancel prevents a scheduled event from running. Canceling an event that
-// already ran, or was already canceled, is a no-op.
+// already ran, or was already canceled, is a no-op: the generation check
+// makes a stale EventID harmless even after its struct has been recycled.
 func (k *Kernel) Cancel(id EventID) {
-	if id.ev != nil {
-		id.ev.canceled = true
+	ev := id.ev
+	if ev == nil || ev.gen != id.gen || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	k.live--
+}
+
+// alloc takes an event struct off the free list, growing it in blocks.
+func (k *Kernel) alloc() *event {
+	if k.free == nil {
+		block := make([]event, 64)
+		for i := range block {
+			block[i].index = -1
+			block[i].next = k.free
+			k.free = &block[i]
+		}
+	}
+	ev := k.free
+	k.free = ev.next
+	ev.next = nil
+	return ev
+}
+
+// recycle returns a fired or canceled event to the free list. The
+// generation bump invalidates every outstanding EventID for it.
+func (k *Kernel) recycle(ev *event) {
+	ev.gen++
+	ev.fn, ev.afn, ev.arg = nil, nil, nil
+	ev.canceled = false
+	ev.index = -1
+	ev.next = k.free
+	k.free = ev
+}
+
+// wheelFront returns the earliest live wheel event without consuming it,
+// sweeping the frontier forward (and pruning canceled events) as needed.
+// Sweeping never advances the clock, so it is safe from peek paths too.
+func (k *Kernel) wheelFront() *event {
+	for {
+		for k.curPos < len(k.cur) {
+			ev := k.cur[k.curPos]
+			if ev.canceled {
+				k.cur[k.curPos] = nil
+				k.curPos++
+				k.recycle(ev)
+				continue
+			}
+			return ev
+		}
+		k.cur = k.cur[:0]
+		k.curPos = 0
+		if k.lvlCount[0] == 0 && k.lvlCount[1] == 0 && k.lvlCount[2] == 0 {
+			return nil
+		}
+		k.sweep()
+	}
+}
+
+// sweep advances the frontier until it has harvested one level-0 slot's
+// events into cur, cascading higher levels at their boundaries and jumping
+// over provably empty stretches.
+func (k *Kernel) sweep() {
+	for {
+		if k.c0&(l0Slots-1) == 0 {
+			// Entering a new level-1 slot; at a level-2 boundary the
+			// level-2 slot cascades first so its events reach level 1
+			// before that level's own cascade runs.
+			if k.c0&(1<<(l0Bits+l1Bits)-1) == 0 && k.lvlCount[2] > 0 {
+				k.cascade(2, int(k.c0>>(l0Bits+l1Bits)&(l2Slots-1)))
+			}
+			if k.lvlCount[1] > 0 {
+				k.cascade(1, int(k.c0>>l0Bits&(l1Slots-1)))
+			}
+		}
+		slot := int(k.c0 & (l0Slots - 1))
+		k.c0++
+		if chain := k.levels[0][slot]; chain != nil {
+			k.levels[0][slot] = nil
+			for ev := chain; ev != nil; {
+				nx := ev.next
+				ev.next = nil
+				k.lvlCount[0]--
+				if ev.canceled {
+					k.recycle(ev)
+				} else {
+					k.cur = append(k.cur, ev)
+				}
+				ev = nx
+			}
+			if len(k.cur) > 0 {
+				slices.SortFunc(k.cur, cmpEvent)
+				return
+			}
+			continue // slot held only canceled events; keep sweeping
+		}
+		if k.lvlCount[0] == 0 {
+			if k.lvlCount[1] == 0 && k.lvlCount[2] == 0 {
+				return // wheel drained mid-sweep (all canceled)
+			}
+			// No level-0 events left: jump straight to the next cascade
+			// boundary instead of sweeping empty slots one by one.
+			k.c0 = (k.c0 + l0Slots - 1) &^ (l0Slots - 1)
+		}
+	}
+}
+
+func cmpEvent(a, b *event) int {
+	switch {
+	case a.at != b.at:
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	case a.seq < b.seq:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// cascade redistributes one higher-level slot down the wheel.
+func (k *Kernel) cascade(level, slot int) {
+	chain := k.levels[level][slot]
+	k.levels[level][slot] = nil
+	for ev := chain; ev != nil; {
+		nx := ev.next
+		ev.next = nil
+		k.lvlCount[level]--
+		if ev.canceled {
+			k.recycle(ev)
+		} else {
+			k.place(ev)
+		}
+		ev = nx
+	}
+}
+
+// heapFront returns the earliest live heap event, pruning canceled tops.
+func (k *Kernel) heapFront() *event {
+	for len(k.queue) > 0 {
+		if ev := k.queue[0]; ev.canceled {
+			heap.Pop(&k.queue)
+			k.recycle(ev)
+			continue
+		}
+		return k.queue[0]
+	}
+	return nil
+}
+
+// popNext removes and returns the globally earliest live event, or nil.
+func (k *Kernel) popNext() *event {
+	wf := k.wheelFront()
+	hf := k.heapFront()
+	switch {
+	case wf == nil && hf == nil:
+		return nil
+	case hf == nil || (wf != nil && (wf.at < hf.at || (wf.at == hf.at && wf.seq < hf.seq))):
+		k.cur[k.curPos] = nil
+		k.curPos++
+		return wf
+	default:
+		heap.Pop(&k.queue)
+		return hf
 	}
 }
 
 // Step executes the single earliest pending event. It reports false when no
 // events remain.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		ev := heap.Pop(&k.queue).(*event)
-		if ev.canceled {
-			continue
-		}
-		k.now = ev.at
-		k.processed++
-		ev.fn()
-		return true
+	ev := k.popNext()
+	if ev == nil {
+		return false
 	}
-	return false
+	k.now = ev.at
+	k.processed++
+	k.live--
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	k.recycle(ev) // before the call, so the callback can reuse the struct
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -217,12 +519,14 @@ func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now + d) }
 func (k *Kernel) Stop() { k.stopped = true }
 
 func (k *Kernel) peek() (Time, bool) {
-	for len(k.queue) > 0 {
-		if k.queue[0].canceled {
-			heap.Pop(&k.queue)
-			continue
-		}
-		return k.queue[0].at, true
+	wf := k.wheelFront()
+	hf := k.heapFront()
+	switch {
+	case wf == nil && hf == nil:
+		return 0, false
+	case hf == nil || (wf != nil && (wf.at < hf.at || (wf.at == hf.at && wf.seq < hf.seq))):
+		return wf.at, true
+	default:
+		return hf.at, true
 	}
-	return 0, false
 }

@@ -20,15 +20,20 @@ func NewTimer(k *Kernel, d Duration, fn func()) *Timer {
 	return &Timer{k: k, d: d, fn: fn}
 }
 
-// Reset (re)arms the timer for a full period from now.
+// Reset (re)arms the timer for a full period from now. Re-arming rides the
+// kernel's capture-free path: watchdog pets happen per received burst, and a
+// closure per pet would dominate the datapath's allocations.
 func (t *Timer) Reset() {
 	t.Stop()
 	t.armed = true
-	t.pending = t.k.After(t.d, func() {
-		t.armed = false
-		t.fires++
-		t.fn()
-	})
+	t.pending = t.k.AfterArg(t.d, timerExpire, t)
+}
+
+func timerExpire(a any) {
+	t := a.(*Timer)
+	t.armed = false
+	t.fires++
+	t.fn()
 }
 
 // Stop disarms the timer without firing.

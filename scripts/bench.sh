@@ -1,0 +1,29 @@
+#!/bin/sh
+# bench.sh — run the performance benchmarks and record the results as
+# BENCH_<date>.json in the repository root (ns/op, trials/sec, allocs/op,
+# and the custom metrics the benchmarks report).
+#
+# Usage:
+#   sh scripts/bench.sh          full run (go's default -benchtime)
+#   sh scripts/bench.sh -short   smoke run (-benchtime=1x), used by CI
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime=""
+if [ "${1:-}" = "-short" ]; then
+    benchtime="-benchtime=1x"
+fi
+
+date=$(date +%Y-%m-%d)
+out="BENCH_${date}.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench (kernel + campaign throughput)"
+# shellcheck disable=SC2086  # benchtime is intentionally word-split
+go test -run '^$' \
+    -bench '^(BenchmarkKernel|BenchmarkCampaignThroughput|BenchmarkKernelEventThroughput|BenchmarkFIFOInjectorPassThrough)$' \
+    -benchmem $benchtime . | tee "$raw"
+
+go run ./scripts/benchjson < "$raw" > "$out"
+echo "wrote $out"

@@ -1,0 +1,103 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, one record per benchmark with ns/op, B/op, allocs/op,
+// and any custom b.ReportMetric metrics (events/s, trials/s, …) keyed by
+// unit. scripts/bench.sh pipes through it to produce BENCH_<date>.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// record is one benchmark result line.
+type record struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// output is the whole document.
+type output struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	var out output
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			out.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				out.Benchmarks = append(out.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench parses one result line:
+//
+//	BenchmarkKernel-4  1000  11763 ns/op  85012 events/s  5376 B/op  1 allocs/op
+//
+// The format is pairs of (value, unit) after the iteration count.
+func parseBench(line string) (record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return record{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -GOMAXPROCS suffix.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	r := record{Name: name, Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		if fields[i+1] == "ns/op" {
+			r.NsPerOp = v
+		} else {
+			r.Metrics[fields[i+1]] = v
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, true
+}
