@@ -178,6 +178,19 @@ func BenchmarkFIFOInjectorPassThrough(b *testing.B) {
 	b.SetBytes(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		e.ProcessBatch(burst)
+	}
+}
+
+// BenchmarkFIFOInjectorPerSymbol is the pre-batch baseline: the same unarmed
+// burst clocked through the per-symbol FSM, for comparison against the
+// cut-through numbers above.
+func BenchmarkFIFOInjectorPerSymbol(b *testing.B) {
+	e := core.NewEngine(core.DefaultSlackChars)
+	burst := phy.DataChars(make([]byte, 1024))
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		e.Process(burst)
 	}
 }
@@ -198,6 +211,37 @@ func BenchmarkFIFOInjectorMatching(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Process(burst)
+	}
+}
+
+// BenchmarkFIFOInjectorArmed measures the batch path with 8 rules armed:
+// the skip map still covers most of the burst (the rules anchor on two rare
+// byte pairs), so ProcessBatch should beat the per-symbol path even though
+// the automaton must be consulted around every candidate anchor.
+func BenchmarkFIFOInjectorArmed(b *testing.B) {
+	for _, path := range []string{"batch", "per-symbol"} {
+		b.Run(path, func(b *testing.B) {
+			prog, err := rules.Compile(ruleBenchSet(8), rules.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := core.NewEngine(core.DefaultSlackChars)
+			e.SetRuleProgram(prog)
+			burst := phy.DataChars(make([]byte, 1024))
+			burst[512] = phy.DataChar(0x20)
+			burst[513] = phy.DataChar(0x21)
+			b.SetBytes(1024)
+			b.ResetTimer()
+			if path == "batch" {
+				for i := 0; i < b.N; i++ {
+					e.ProcessBatch(burst)
+				}
+			} else {
+				for i := 0; i < b.N; i++ {
+					e.Process(burst)
+				}
+			}
+		})
 	}
 }
 

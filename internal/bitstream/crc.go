@@ -20,7 +20,67 @@ func CRC8(data []byte) byte {
 // CRC8Update extends a running CRC-8 with one byte.
 func CRC8Update(crc, b byte) byte { return crc8Table[crc^b] }
 
+// CRC8Update4 extends a running CRC-8 with four bytes at once using
+// slicing-by-4. The four table lookups are independent, so the loop-carried
+// dependency is one xor chain per four bytes instead of one per byte — the
+// batch datapath uses this to take the CRC off the critical path.
+func CRC8Update4(crc, b0, b1, b2, b3 byte) byte {
+	return crc8Slice[3][crc^b0] ^ crc8Slice[2][b1] ^ crc8Slice[1][b2] ^ crc8Slice[0][b3]
+}
+
+// CRC8Zeros advances a running CRC-8 over n zero bytes. Updating with a zero
+// byte is the linear map crc -> table[crc], so n steps decompose into
+// power-of-two jumps through precomputed composition tables. The switch uses
+// this to advance its incremental CRC correction over a forwarded run without
+// walking it byte by byte.
+func CRC8Zeros(crc byte, n int) byte {
+	for k := 0; k < len(crc8Zero) && n != 0; k++ {
+		if n&1 != 0 {
+			crc = crc8Zero[k][crc]
+		}
+		n >>= 1
+	}
+	// n now counts remaining 256-step blocks: two 128-step jumps each.
+	for ; n != 0; n-- {
+		crc = crc8Zero[len(crc8Zero)-1][crc8Zero[len(crc8Zero)-1][crc]]
+	}
+	return crc
+}
+
 var crc8Table = makeCRC8Table(0x07)
+
+// crc8Slice[k][b] is the CRC of byte b followed by k zero bytes: the
+// standard slicing decomposition crc(b0 b1 b2 b3) =
+// S3[crc^b0] ^ S2[b1] ^ S1[b2] ^ S0[b3], valid because the zero-init CRC is
+// linear over GF(2).
+var crc8Slice = makeCRC8Slice()
+
+func makeCRC8Slice() [4][256]byte {
+	var t [4][256]byte
+	t[0] = crc8Table
+	for k := 1; k < 4; k++ {
+		for b := 0; b < 256; b++ {
+			t[k][b] = crc8Table[t[k-1][b]]
+		}
+	}
+	return t
+}
+
+// crc8Zero[k][c] applies the zero-byte update 2^k times to c.
+var crc8Zero = makeCRC8Zero()
+
+func makeCRC8Zero() [8][256]byte {
+	var t [8][256]byte
+	for c := 0; c < 256; c++ {
+		t[0][c] = crc8Table[c]
+	}
+	for k := 1; k < 8; k++ {
+		for c := 0; c < 256; c++ {
+			t[k][c] = t[k-1][t[k-1][c]]
+		}
+	}
+	return t
+}
 
 func makeCRC8Table(poly byte) [256]byte {
 	var t [256]byte
@@ -40,8 +100,25 @@ func makeCRC8Table(poly byte) [256]byte {
 
 // CRC32 computes the Fibre Channel frame CRC (IEEE 802.3 polynomial,
 // reflected, initial value all-ones, final complement) over data.
+//
+// The kernel is slicing-by-8: eight independent table lookups per 8-byte
+// block, so the loop-carried dependency is one xor chain per block instead
+// of one per byte. The remainder tail falls back to the byte-at-a-time
+// update with the same table.
 func CRC32(data []byte) uint32 {
 	crc := ^uint32(0)
+	for len(data) >= 8 {
+		lo := crc ^ (uint32(data[0]) | uint32(data[1])<<8 | uint32(data[2])<<16 | uint32(data[3])<<24)
+		crc = crc32Slice[7][byte(lo)] ^
+			crc32Slice[6][byte(lo>>8)] ^
+			crc32Slice[5][byte(lo>>16)] ^
+			crc32Slice[4][byte(lo>>24)] ^
+			crc32Slice[3][data[4]] ^
+			crc32Slice[2][data[5]] ^
+			crc32Slice[1][data[6]] ^
+			crc32Slice[0][data[7]]
+		data = data[8:]
+	}
 	for _, b := range data {
 		crc = crc32Table[byte(crc)^b] ^ crc>>8
 	}
@@ -49,6 +126,22 @@ func CRC32(data []byte) uint32 {
 }
 
 var crc32Table = makeCRC32Table(0xEDB88320)
+
+// crc32Slice[k][b] is the CRC state contribution of byte b followed by k
+// zero bytes (reflected form), the standard slicing-by-8 decomposition.
+var crc32Slice = makeCRC32Slice()
+
+func makeCRC32Slice() [8][256]uint32 {
+	var t [8][256]uint32
+	t[0] = crc32Table
+	for k := 1; k < 8; k++ {
+		for b := 0; b < 256; b++ {
+			prev := t[k-1][b]
+			t[k][b] = crc32Table[byte(prev)] ^ prev>>8
+		}
+	}
+	return t
+}
 
 func makeCRC32Table(poly uint32) [256]uint32 {
 	var t [256]uint32

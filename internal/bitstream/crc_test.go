@@ -3,6 +3,7 @@ package bitstream
 import (
 	"bytes"
 	"hash/crc32"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -77,6 +78,110 @@ func TestCRC32MatchesStdlib(t *testing.T) {
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// crc8Bitwise is an independent bit-serial oracle for CRC-8/ATM-HEC
+// (poly 0x07, MSB-first, zero init): no tables, just the shift register the
+// hardware implements.
+func crc8Bitwise(data []byte) byte {
+	var crc byte
+	for _, b := range data {
+		crc ^= b
+		for bit := 0; bit < 8; bit++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// crc32Bitwise is an independent bit-serial oracle for the reflected IEEE
+// CRC-32 (poly 0xEDB88320, init/final all-ones).
+func crc32Bitwise(data []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc ^= uint32(b)
+		for bit := 0; bit < 8; bit++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ 0xEDB88320
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+// TestCRCTablesAgainstOracles is the table-driven cross-check demanded by
+// the slicing rewrite: every table entry and every sliced kernel must agree
+// with hash/crc32 (for CRC-32) and a bit-serial shift register (for both).
+func TestCRCTablesAgainstOracles(t *testing.T) {
+	stdTable := crc32.MakeTable(crc32.IEEE)
+	for b := 0; b < 256; b++ {
+		if crc32Table[b] != stdTable[b] {
+			t.Fatalf("crc32Table[%#02x] = %#08x, want stdlib %#08x", b, crc32Table[b], stdTable[b])
+		}
+		if got, want := crc8Table[b], crc8Bitwise([]byte{byte(b)}); got != want {
+			t.Fatalf("crc8Table[%#02x] = %#02x, want bit-serial %#02x", b, got, want)
+		}
+	}
+	cases := [][]byte{
+		nil,
+		{0x00},
+		{0xFF},
+		[]byte("123456789"),
+		[]byte("Have a lot of fun"),
+		bytes.Repeat([]byte{0xA5, 0x5A}, 100),
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 64; i++ {
+		buf := make([]byte, rng.Intn(300))
+		rng.Read(buf)
+		cases = append(cases, buf)
+	}
+	for _, data := range cases {
+		if got, want := CRC32(data), crc32.ChecksumIEEE(data); got != want {
+			t.Errorf("CRC32(%d bytes) = %#08x, want stdlib %#08x", len(data), got, want)
+		}
+		if got, want := CRC32(data), crc32Bitwise(data); got != want {
+			t.Errorf("CRC32(%d bytes) = %#08x, want bit-serial %#08x", len(data), got, want)
+		}
+		if got, want := CRC8(data), crc8Bitwise(data); got != want {
+			t.Errorf("CRC8(%d bytes) = %#02x, want bit-serial %#02x", len(data), got, want)
+		}
+	}
+}
+
+// The sliced 4-byte update must compose exactly like four serial updates.
+func TestCRC8Update4MatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		crc := byte(rng.Intn(256))
+		b0, b1, b2, b3 := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		want := CRC8Update(CRC8Update(CRC8Update(CRC8Update(crc, b0), b1), b2), b3)
+		if got := CRC8Update4(crc, b0, b1, b2, b3); got != want {
+			t.Fatalf("CRC8Update4(%#02x, %#02x %#02x %#02x %#02x) = %#02x, want %#02x",
+				crc, b0, b1, b2, b3, got, want)
+		}
+	}
+}
+
+func TestCRC8ZerosMatchesLoop(t *testing.T) {
+	ns := []int{0, 1, 2, 3, 7, 8, 63, 64, 127, 128, 255, 256, 257, 1000, 4096}
+	for _, n := range ns {
+		for _, start := range []byte{0x00, 0x01, 0x80, 0xF4, 0xFF} {
+			want := start
+			for i := 0; i < n; i++ {
+				want = CRC8Update(want, 0)
+			}
+			if got := CRC8Zeros(start, n); got != want {
+				t.Errorf("CRC8Zeros(%#02x, %d) = %#02x, want %#02x", start, n, got, want)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"netfi/internal/bitstream"
+	"netfi/internal/phy"
+	"netfi/internal/rules"
+)
+
+// This file is the burst-granular datapath: ProcessBatch produces output
+// byte-identical to the per-symbol Process, but consumes runs of
+// match-impossible characters in bulk. Two mechanisms make that legal:
+//
+//   - A precomputed skip bitmap over the symbol space marks characters that
+//     can neither anchor the legacy compare window (fail the first masked
+//     position) nor begin any rule's automaton (the executor's quiet set).
+//     Runs of skip characters flow through as a single copy — the
+//     "cut-through" path — with only bulk statistics, capture-ring and
+//     running-CRC updates.
+//
+//   - The per-symbol FSM re-engages around candidate anchors: every
+//     non-skip character is clocked individually, plus the WindowSize-1
+//     characters after it (a match completing later than that cannot
+//     involve the anchor), and for as long as any dynamic condition — a
+//     rule automaton mid-match, tainted FIFO slots awaiting retransmission,
+//     a pending InjectNow, or an armed CRC recompute on a corrupted
+//     packet — could make a pop or a compare content-dependent.
+
+// batchSpan is the skip-bitmap index space: characters are classified by
+// their low 10 bits, covering the 9-bit Myrinet link symbols and the 10-bit
+// Fibre Channel code groups. Masks selecting higher bits (none of the real
+// substrates do) disable the batch path rather than alias.
+const batchSpan = 1024
+
+// dcFlag is the D/C bit of a link character (bit 8).
+const dcFlag = phy.Character(1) << 8
+
+// batchPlan is the cached classification of the symbol space against the
+// current register file and rule set.
+type batchPlan struct {
+	// ok gates the whole batch path: false when a compare mask selects bits
+	// outside the index span, so classification by low bits would alias.
+	ok bool
+	// all short-circuits the scan when every symbol is skippable — the
+	// unarmed cut-through case.
+	all bool
+	// cmpAlways marks an all-don't-care compare window: every cycle matches,
+	// so bulk runs advance the match counter instead of scanning.
+	cmpAlways bool
+	// anchorIdx is the first compare-window position with a nonzero mask
+	// (valid only when !cmpAlways): the position whose masked compare the
+	// skip map encodes.
+	anchorIdx int
+	skip      [batchSpan / 64]uint64
+}
+
+func (p *batchPlan) skipSym(c phy.Character) bool {
+	v := uint16(c) & (batchSpan - 1)
+	return p.skip[v>>6]&(1<<uint(v&63)) != 0
+}
+
+// rebuildPlan reclassifies the symbol space. Called lazily from ProcessBatch
+// after Configure, SetMatchMode or a rule-set change marks the plan dirty.
+func (e *Engine) rebuildPlan() {
+	e.batchDirty = false
+	e.plan = batchPlan{}
+	p := &e.plan
+	for i := 0; i < WindowSize; i++ {
+		if e.cfg.CompareMask[i]&^CharMask(batchSpan-1) != 0 {
+			return // mask selects bits the classification cannot see
+		}
+	}
+	p.ok = true
+	j := -1
+	for i := 0; i < WindowSize; i++ {
+		if e.cfg.CompareMask[i] != 0 {
+			j = i
+			break
+		}
+	}
+	p.cmpAlways = j < 0
+	p.anchorIdx = j
+	var quiet *[rules.SymbolSpace / 64]uint64
+	if e.ruleExec != nil {
+		quiet = e.ruleExec.QuietSymbols()
+	}
+	p.all = true
+	for v := 0; v < batchSpan; v++ {
+		skippable := true
+		if j >= 0 && (phy.Character(v)^e.cfg.CompareData[j])&phy.Character(e.cfg.CompareMask[j]) == 0 {
+			skippable = false // would anchor the legacy compare
+		}
+		if quiet != nil {
+			s := v & rules.SymbolMask
+			if quiet[s>>6]&(1<<uint(s&63)) == 0 {
+				skippable = false // could begin a rule match
+			}
+		}
+		if skippable {
+			p.skip[v>>6] |= 1 << uint(v&63)
+		} else {
+			p.all = false
+		}
+	}
+}
+
+// triggerArmed reports whether a compare match on the next cycle could fire
+// the legacy corrupt logic.
+func (e *Engine) triggerArmed() bool {
+	switch e.cfg.Match {
+	case MatchOn:
+		return true
+	case MatchOnce:
+		return !e.onceDone
+	}
+	return false
+}
+
+// bulkEligible reports whether the dynamic state allows consuming skip runs
+// in bulk right now. The plan handles the static (configuration) half; this
+// is the per-run half.
+func (e *Engine) bulkEligible() bool {
+	if !e.plan.ok || e.injectNow || e.taint != 0 {
+		return false
+	}
+	if e.cfg.RecomputeCRC && e.packetCorrupted {
+		return false // a pop may substitute the recomputed CRC
+	}
+	if e.ruleExec != nil && !e.ruleExec.InStart() {
+		return false // automaton mid-match: every symbol is consumed
+	}
+	if e.plan.cmpAlways && e.triggerArmed() {
+		return false // every cycle matches and would trigger
+	}
+	return true
+}
+
+// entryGuard computes how many leading burst characters must be clocked
+// per-symbol because a compare match completing on them would anchor on a
+// character still in the shift register from before this call.
+func (e *Engine) entryGuard() int {
+	if !e.plan.ok || e.plan.cmpAlways {
+		return 0
+	}
+	j := e.plan.anchorIdx
+	g := 0
+	for t := 0; t < WindowSize-1-j; t++ {
+		// A match at burst index t places old window entry j+t+1 at the
+		// anchor position.
+		w := &e.window[j+t+1]
+		if (w.ch^e.cfg.CompareData[j])&phy.Character(e.cfg.CompareMask[j]) == 0 {
+			g = t + 1
+		}
+	}
+	return g
+}
+
+// ProcessBatch clocks the engine over a burst and returns the characters
+// released downstream, exactly as Process would, but burst-granular: runs of
+// skip-map characters bypass the per-symbol FSM. The returned slice is the
+// same reused scratch buffer Process uses, valid until the next call of
+// either method.
+func (e *Engine) ProcessBatch(chars []phy.Character) []phy.Character {
+	out := e.procOut[:0]
+	if e.batchDirty {
+		e.rebuildPlan()
+	}
+	guard := e.entryGuard()
+	i, n := 0, len(chars)
+	for i < n {
+		if guard > 0 || !e.bulkEligible() {
+			c := chars[i]
+			if e.plan.ok && !e.plan.skipSym(c) {
+				// Candidate anchor: this character plus the next
+				// WindowSize-1 stay on the per-symbol path.
+				guard = WindowSize
+			}
+			out = e.stepOne(c, out)
+			i++
+			if guard > 0 {
+				guard--
+			}
+			continue
+		}
+		j := i
+		if e.plan.all {
+			j = n
+		} else {
+			for j < n && e.plan.skipSym(chars[j]) {
+				j++
+			}
+		}
+		if j == i {
+			guard = WindowSize
+			continue
+		}
+		out = e.bulkRun(chars[i:j], out)
+		i = j
+	}
+	e.procOut = out
+	return out
+}
+
+// bulkRun consumes a run of characters proven unable to match or trigger:
+// a single copy through the pipeline with statistics, capture, CRC and
+// FIFO-tail updates, no per-symbol FSM. Preconditions (owned by
+// ProcessBatch): bulkEligible, every character in seg is in the skip map,
+// and the entry/anchor guard has expired.
+func (e *Engine) bulkRun(seg []phy.Character, out []phy.Character) []phy.Character {
+	m := len(seg)
+	e.chars += uint64(m)
+	for _, c := range seg {
+		if c&(dcFlag|0xFF) == LinkResetCode {
+			e.resetsSeen++
+		}
+	}
+	if e.ruleExec != nil {
+		e.ruleExec.SkipQuiet(m)
+	}
+	if e.plan.cmpAlways {
+		// All-don't-care window: every cycle's compare reports a match
+		// (and the eligibility gate has proven none can trigger).
+		e.matches += uint64(m)
+	}
+	e.capture.ObserveBatch(seg)
+
+	// Pops: the logical stream is the queued characters followed by seg;
+	// output takes its prefix until the pipeline is back at slack depth.
+	count0 := e.count
+	pops := count0 + m - e.slack
+	if pops < 0 {
+		pops = 0
+	}
+	popFifo := pops
+	if popFifo > count0 {
+		popFifo = count0
+	}
+	for k := 0; k < popFifo; k++ {
+		c := e.fifo[e.head].ch
+		e.head = (e.head + 1) % len(e.fifo)
+		out = append(out, c)
+		if c.IsData() {
+			e.runningCRC = bitstream.CRC8Update(e.runningCRC, c.Byte())
+		} else {
+			e.runningCRC = 0
+			e.packetCorrupted = false
+		}
+	}
+	e.count = count0 - popFifo
+	popSeg := pops - popFifo
+	if popSeg > 0 {
+		// Characters that enter and leave within this run: cut-through.
+		out = append(out, seg[:popSeg]...)
+		e.runningCRC, e.packetCorrupted = crcAdvance(e.runningCRC, e.packetCorrupted, seg[:popSeg])
+	}
+
+	// FIFO tail: only the kept suffix of seg is materialized in the ring —
+	// at most slack slots regardless of run length.
+	for k := popSeg; k < m; k++ {
+		pos := (e.head + e.count) % len(e.fifo)
+		e.fifo[pos] = fifoEntry{ch: seg[k]}
+		e.count++
+	}
+
+	// Compare shift register: the last WindowSize stream characters. Kept
+	// suffix slots are live (proven by the slack >= WindowSize invariant),
+	// so recorded positions stay valid for later corrupt cycles.
+	if m >= WindowSize {
+		for i := 0; i < WindowSize; i++ {
+			d := WindowSize - 1 - i
+			e.window[i] = winEntry{
+				ch:  seg[m-1-d],
+				pos: (e.head + e.count - 1 - d) % len(e.fifo),
+			}
+		}
+	} else {
+		copy(e.window[:], e.window[m:])
+		for i := 0; i < m; i++ {
+			d := m - 1 - i
+			e.window[WindowSize-m+i] = winEntry{
+				ch:  seg[i],
+				pos: (e.head + e.count - 1 - d) % len(e.fifo),
+			}
+		}
+	}
+	return out
+}
+
+// crcAdvance runs the per-packet CRC state machine over a popped run:
+// data bytes extend the running CRC (slicing-by-4 on all-data blocks),
+// control symbols reset it and clear the corrupted-packet latch, exactly as
+// popOne does per character.
+func crcAdvance(crc byte, pc bool, seg []phy.Character) (byte, bool) {
+	i, n := 0, len(seg)
+	for i < n {
+		for i+4 <= n {
+			c0, c1, c2, c3 := seg[i], seg[i+1], seg[i+2], seg[i+3]
+			if c0&c1&c2&c3&dcFlag == 0 {
+				break // a control symbol inside the block
+			}
+			crc = bitstream.CRC8Update4(crc, byte(c0), byte(c1), byte(c2), byte(c3))
+			i += 4
+		}
+		if i >= n {
+			break
+		}
+		if c := seg[i]; c.IsData() {
+			crc = bitstream.CRC8Update(crc, c.Byte())
+		} else {
+			crc = 0
+			pc = false
+		}
+		i++
+	}
+	return crc, pc
+}

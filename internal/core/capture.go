@@ -70,6 +70,53 @@ func (r *CaptureRing) Observe(c phy.Character) {
 	}
 }
 
+// ObserveBatch records a run of stream characters, with the same final state
+// as calling Observe per character. The pre-trigger ring only ever holds its
+// last len(pre) observations, so a long run costs O(len(pre)) ring writes
+// plus whatever an active post-trigger capture consumes.
+func (r *CaptureRing) ObserveBatch(chars []phy.Character) {
+	n := len(chars)
+	if n == 0 {
+		return
+	}
+	if r.capturing {
+		take := r.remaining
+		if take > n {
+			take = n
+		}
+		r.snapshot = append(r.snapshot, chars[:take]...)
+		r.remaining -= take
+		if r.remaining == 0 {
+			r.events = append(r.events, Capture{
+				Context: r.snapshot,
+				PreLen:  len(r.snapshot) - r.post,
+			})
+			r.capturing = false
+			r.snapshot = nil
+		}
+	}
+	if n >= len(r.pre) {
+		// Only the newest len(pre) characters survive; lay them out so the
+		// slot just before the advanced head is the newest.
+		hp := (r.head + n) % len(r.pre)
+		tail := chars[n-len(r.pre):]
+		copy(r.pre[hp:], tail[:len(r.pre)-hp])
+		copy(r.pre[:hp], tail[len(r.pre)-hp:])
+		r.head = hp
+		r.full = true
+		return
+	}
+	k := copy(r.pre[r.head:], chars)
+	if k < n {
+		copy(r.pre, chars[k:])
+	}
+	r.head += n
+	if r.head >= len(r.pre) {
+		r.head -= len(r.pre)
+		r.full = true
+	}
+}
+
 // MarkInjection snapshots the pre ring and starts post-trigger recording.
 // A second injection during an active capture extends nothing: the first
 // capture completes with its original quota (matching a hardware ring that

@@ -165,7 +165,7 @@ func (p *devicePort) Receive(chars []phy.Character) {
 				fill[i] = d.cfg.IdleChar
 				p.entries = append(p.entries, p.lastEnd+sim.Duration(i+1)*period)
 			}
-			p.deliver(eng.Process(fill))
+			p.deliver(eng.ProcessBatch(fill))
 		}
 	}
 	if now > p.lastEnd {
@@ -175,7 +175,7 @@ func (p *devicePort) Receive(chars []phy.Character) {
 	for i := range chars {
 		p.entries = append(p.entries, start+sim.Duration(i+1)*period)
 	}
-	p.deliver(eng.Process(chars))
+	p.deliver(eng.ProcessBatch(chars))
 	p.armFlush()
 	phy.ReleaseBurst(chars)
 }

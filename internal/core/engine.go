@@ -154,6 +154,14 @@ type Engine struct {
 	runningCRC      byte
 	packetCorrupted bool
 
+	// Batch-path state (batch.go): taint counts FIFO slots carrying a
+	// corrupted or dropped flag (bulk pops are only legal at zero), and the
+	// skip plan caches the anchor bitmap derived from the register file and
+	// rule set, rebuilt lazily after any of them change.
+	taint      int
+	batchDirty bool
+	plan       batchPlan
+
 	// Statistics (the §3.2 statistics-gathering feature).
 	chars      uint64
 	matches    uint64
@@ -190,9 +198,10 @@ func NewEngine(slack int) *Engine {
 		panic(fmt.Sprintf("core: slack %d below window size %d", slack, WindowSize))
 	}
 	e := &Engine{
-		fifo:    make([]fifoEntry, nextPow2(slack*4)),
-		slack:   slack,
-		capture: NewCaptureRing(DefaultCapturePre, DefaultCapturePost),
+		fifo:       make([]fifoEntry, nextPow2(slack*4)),
+		slack:      slack,
+		capture:    NewCaptureRing(DefaultCapturePre, DefaultCapturePost),
+		batchDirty: true,
 	}
 	e.resetWindow()
 	return e
@@ -219,6 +228,7 @@ func (e *Engine) Configure(cfg Config) {
 	e.cfg = cfg
 	e.onceDone = false
 	e.injectNow = false
+	e.batchDirty = true
 }
 
 // Config returns the current register file.
@@ -228,6 +238,7 @@ func (e *Engine) Config() Config { return e.cfg }
 func (e *Engine) SetMatchMode(m MatchMode) {
 	e.cfg.Match = m
 	e.onceDone = false
+	e.batchDirty = true
 }
 
 // InjectNow requests an unconditional injection on the next even clock
@@ -264,20 +275,27 @@ func (e *Engine) ResetsSeen() uint64 { return e.resetsSeen }
 func (e *Engine) Process(chars []phy.Character) []phy.Character {
 	out := e.procOut[:0]
 	for _, c := range chars {
-		// Odd cycle: push + shift (the FIFO always has room — the drain
-		// below keeps count at the slack level).
-		e.push(c)
-		// Even cycle: compare result available; corrupt/drop in FIFO.
-		e.evenCycle()
-		// Steady-state pull so output rate tracks input rate; dropped
-		// slots leave the FIFO without being retransmitted.
-		for e.count > e.slack {
-			if ch, ok := e.popOne(); ok {
-				out = append(out, ch)
-			}
-		}
+		out = e.stepOne(c, out)
 	}
 	e.procOut = out
+	return out
+}
+
+// stepOne clocks the engine over a single character: the per-symbol
+// reference path that ProcessBatch falls back to around candidate anchors.
+func (e *Engine) stepOne(c phy.Character, out []phy.Character) []phy.Character {
+	// Odd cycle: push + shift (the FIFO always has room — the drain
+	// below keeps count at the slack level).
+	e.push(c)
+	// Even cycle: compare result available; corrupt/drop in FIFO.
+	e.evenCycle()
+	// Steady-state pull so output rate tracks input rate; dropped
+	// slots leave the FIFO without being retransmitted.
+	for e.count > e.slack {
+		if ch, ok := e.popOne(); ok {
+			out = append(out, ch)
+		}
+	}
 	return out
 }
 
@@ -330,6 +348,9 @@ func (e *Engine) popOne() (phy.Character, bool) {
 	e.head = (e.head + 1) % len(e.fifo)
 	e.count--
 
+	if entry.corrupted || entry.dropped {
+		e.taint--
+	}
 	if entry.dropped {
 		e.packetCorrupted = true
 		return 0, false
@@ -411,7 +432,10 @@ func (e *Engine) evenCycle() {
 			m := phy.Character(e.cfg.CorruptMask[i])
 			entry.ch = orig&^m | e.cfg.CorruptData[i]&m
 		}
-		if entry.ch != orig {
+		if entry.ch != orig && !entry.corrupted {
+			if !entry.dropped {
+				e.taint++
+			}
 			entry.corrupted = true
 		}
 	}

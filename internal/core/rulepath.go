@@ -162,6 +162,7 @@ func (e *Engine) installRules(list []rules.Rule, prog *rules.Program) {
 	} else {
 		e.ruleExec = nil
 	}
+	e.batchDirty = true
 }
 
 // applyRuleActions applies the fired rules' datapath effects. Corruptions
@@ -205,6 +206,9 @@ func (e *Engine) applyRuleActions(fired uint64) {
 					entry.ch = orig&^m | phy.Character(r.CorruptData[v])&m
 				}
 				if entry.ch != orig {
+					if !entry.corrupted && !entry.dropped {
+						e.taint++
+					}
 					entry.corrupted = true
 					injected = true
 				}
@@ -217,6 +221,9 @@ func (e *Engine) applyRuleActions(fired uint64) {
 				}
 				entry := &e.fifo[w.pos]
 				if !entry.dropped {
+					if !entry.corrupted {
+						e.taint++
+					}
 					entry.dropped = true
 					e.dropped++
 					injected = true

@@ -142,6 +142,13 @@ func (lc *LinkController) Pop() (phy.Character, bool) { return lc.slack.Pop() }
 // Peek returns the oldest buffered character without removing it.
 func (lc *LinkController) Peek() (phy.Character, bool) { return lc.slack.Peek() }
 
+// Run returns the longest contiguous run of buffered characters starting at
+// the oldest without consuming them; see SlackBuffer.Run.
+func (lc *LinkController) Run() []phy.Character { return lc.slack.Run() }
+
+// Discard consumes the oldest n buffered characters; see SlackBuffer.Discard.
+func (lc *LinkController) Discard(n int) { lc.slack.Discard(n) }
+
 // Buffered reports how many characters wait in the slack buffer.
 func (lc *LinkController) Buffered() int { return lc.slack.Len() }
 

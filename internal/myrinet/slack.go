@@ -81,6 +81,42 @@ func (s *SlackBuffer) Pop() (phy.Character, bool) {
 	return c, true
 }
 
+// Run returns the longest contiguous run of buffered characters starting at
+// the oldest, as a slice into the ring: valid until the next Push, not
+// consumed (pair with Discard). The run stops at the ring wrap, so a caller
+// draining a wrapped buffer sees the remainder on its next call.
+func (s *SlackBuffer) Run() []phy.Character {
+	n := len(s.buf) - s.head
+	if n > s.count {
+		n = s.count
+	}
+	return s.buf[s.head : s.head+n]
+}
+
+// Discard removes the oldest n characters with the same watermark effect as
+// n Pops: draining a stopping buffer to the low watermark fires onGo. The
+// callback fires once, after the whole discard — a caller that must
+// interleave the GO with other work splits the discard at Len()-Low().
+func (s *SlackBuffer) Discard(n int) {
+	if n <= 0 {
+		return
+	}
+	if n > s.count {
+		panic("myrinet: discard beyond buffered count")
+	}
+	s.head = (s.head + n) % len(s.buf)
+	s.count -= n
+	if s.stopping && s.count <= s.low {
+		s.stopping = false
+		if s.onGo != nil {
+			s.onGo()
+		}
+	}
+}
+
+// Low returns the low (GO) watermark.
+func (s *SlackBuffer) Low() int { return s.low }
+
 // Flush discards every buffered character and returns how many were
 // destroyed. A flush that empties a stopping buffer fires onGo: the link
 // reset that triggered it has torn down the upstream path, and whatever

@@ -79,6 +79,7 @@ type switchPort struct {
 	phase     headPhase
 	typeBytes []byte
 	isMapping bool
+	scratch   [1]phy.Character // reusable single-character StreamChars arg
 
 	// Output ownership.
 	owner   *switchPort
@@ -195,6 +196,11 @@ func (sw *Switch) HeldOutputs() int {
 
 // ---- input FSM ----
 
+// batchForward gates the run-granular forwarding fast path. Always on in
+// production; the equivalence test clears it to pin the batch path against
+// per-character stepping.
+var batchForward = true
+
 // drain consumes characters from the port's slack buffer until it empties or
 // the FSM must block (output busy, or downstream backlog at the limit).
 func (p *switchPort) drain() {
@@ -206,6 +212,9 @@ func (p *switchPort) drain() {
 			if p.outPort.lc.TxBacklog() >= StreamBacklogLimit {
 				return // woken by onOutputDrained
 			}
+			if batchForward && p.phase == phBody && p.drainRun() {
+				continue
+			}
 		}
 		c, ok := p.lc.Pop()
 		if !ok {
@@ -213,6 +222,78 @@ func (p *switchPort) drain() {
 		}
 		p.step(c)
 	}
+}
+
+// drainRun forwards a run of packet-body data characters as slices instead of
+// one character at a time: the head scan is already past (phBody), so each
+// character's work is emit-previous-and-hold, which coalesces into at most
+// three StreamChars appends plus a bulk CRC-correction advance. Reports false
+// when the buffer head is not a batchable run (control character next, or a
+// single buffered character) and the caller falls back to per-character
+// stepping.
+//
+// Event-order exactness: the only externally visible effects of the
+// per-character loop are the transmit-buffer appends, the low-watermark GO a
+// pop may fire, and the blocked-watchdog pets — so the GO must land between
+// the same two appends as in per-character stepping (the discard is split at
+// the crossing), and the watchdog is pet once per consumed character (each
+// pet allocates a kernel event ID, and the ID sequence is part of the
+// simulation's determinism contract).
+func (p *switchPort) drainRun() bool {
+	run := p.lc.Run()
+	k := 0
+	for k < len(run) && run[k].IsData() {
+		k++
+	}
+	if k < 2 {
+		return false
+	}
+	if a := StreamBacklogLimit - p.outPort.lc.TxBacklog(); k > a {
+		k = a
+	}
+	// x is the pop ordinal whose completion fires the low-watermark GO
+	// upstream; k+1 when no crossing happens within this run.
+	slack := p.lc.Slack()
+	x := k + 1
+	if slack.Stopping() {
+		if c := slack.Len() - slack.Low(); c <= k {
+			k, x = c, c
+		}
+	}
+	out := p.outPort.lc
+	if x == 1 {
+		p.lc.Discard(1) // fires the GO, before this step's pet and emit
+	}
+	p.petBlocked()
+	p.scratch[0] = phy.DataChar(p.held)
+	out.StreamChars(p.scratch[:1])
+	if x <= 1 || x > k {
+		// GO already fired (x==1) or never fires in this run: the remaining
+		// emits coalesce into one append.
+		for i := 2; i <= k; i++ {
+			p.petBlocked()
+		}
+		out.StreamChars(run[:k-1])
+		if x == 1 {
+			p.lc.Discard(k - 1)
+		} else {
+			p.lc.Discard(k)
+		}
+	} else {
+		// 1 < x == k: the run was truncated at the crossing, whose pop —
+		// and GO — per-character stepping interleaves before the final
+		// pet and emit.
+		for i := 2; i < k; i++ {
+			p.petBlocked()
+		}
+		out.StreamChars(run[:k-2])
+		p.lc.Discard(k) // fires the GO
+		p.petBlocked()
+		out.StreamChars(run[k-2 : k-1])
+	}
+	p.held = run[k-1].Byte()
+	p.crcCorr = bitstream.CRC8Zeros(p.crcCorr, k)
+	return true
 }
 
 // step feeds one character to the FSM.

@@ -243,7 +243,10 @@ func (p *Program) buildDFA(budget int) {
 	b := &dfaBuilder{nfa: nfa, ids: make(map[string]int32)}
 	b.intern(normalize(append([]int32(nil), starts...)))
 
-	var rows [][]int32
+	// The transition table grows row by row in its final backing array —
+	// one geometric-growth allocation chain instead of a 2KB row per state
+	// plus a final copy.
+	table := make([]int32, 0, 4*SymbolSpace)
 	for si := 0; si < len(b.sets); si++ {
 		S := b.sets[si]
 		base := make([]int32, 0, len(S)+4)
@@ -279,10 +282,11 @@ func (p *Program) buildDFA(budget int) {
 		}
 		base = normalize(base)
 		baseID := b.intern(base)
-		row := make([]int32, SymbolSpace)
-		for i := range row {
-			row[i] = baseID
+		start := len(table)
+		for i := 0; i < SymbolSpace; i++ {
+			table = append(table, baseID)
 		}
+		row := table[start:]
 		sort.Slice(b.touched, func(i, j int) bool { return b.touched[i] < b.touched[j] })
 		for _, sym := range b.touched {
 			t := append(append([]int32(nil), base...), b.specific[sym]...)
@@ -290,17 +294,13 @@ func (p *Program) buildDFA(budget int) {
 			b.specific[sym] = b.specific[sym][:0]
 		}
 		b.touched = b.touched[:0]
-		rows = append(rows, row)
 		if len(b.sets) > budget {
 			return // blown budget: stay in lane mode
 		}
 	}
 
 	p.dfaStates = len(b.sets)
-	p.dfaTable = make([]int32, p.dfaStates*SymbolSpace)
-	for i, row := range rows {
-		copy(p.dfaTable[i*SymbolSpace:], row)
-	}
+	p.dfaTable = table
 	p.dfaAccept = b.accept
 }
 

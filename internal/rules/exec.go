@@ -17,6 +17,12 @@ type Executor struct {
 	onceFired uint64
 	matches   []uint64
 	fires     []uint64
+
+	// quiet is the start-state skip set: bit s is set when consuming symbol
+	// s from the start state provably returns to the start state with no
+	// match. Runs of quiet symbols can be consumed in bulk (StepBatch) with
+	// only the symbol clock advancing.
+	quiet [SymbolSpace / 64]uint64
 }
 
 // NewExecutor returns an armed executor.
@@ -29,8 +35,103 @@ func NewExecutor(p *Program) *Executor {
 	if !p.UsesDFA() {
 		e.lanes = make([]uint64, len(p.rules))
 	}
+	e.buildQuiet()
 	e.Reset()
 	return e
+}
+
+// buildQuiet computes the start-state skip set once per program. A symbol is
+// quiet when no rule's automaton leaves its start configuration on it: for
+// the DFA that is a self-transition of state 0 with an empty accept set; for
+// NFA lanes it means no lane's start state has a consuming transition the
+// symbol satisfies (the start's self-loop is what keeps matching unanchored,
+// so "stays at {start}" is exact, not conservative).
+func (e *Executor) buildQuiet() {
+	if e.p.dfaTable != nil {
+		if e.p.dfaAccept[0] != 0 {
+			return // degenerate: start already accepts; never skip
+		}
+		for s := 0; s < SymbolSpace; s++ {
+			if e.p.dfaTable[s] == 0 {
+				e.quiet[s>>6] |= 1 << uint(s&63)
+			}
+		}
+		return
+	}
+	for s := 0; s < SymbolSpace; s++ {
+		sym := uint16(s)
+		ok := true
+		for r := range e.p.lanes {
+			lane := &e.p.lanes[r]
+			if lane.accept&1 != 0 {
+				ok = false
+				break
+			}
+			st := &lane.states[0]
+			if st.anyNext >= 0 || (st.matchNext >= 0 && (sym^st.cmp)&st.mask == 0) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			e.quiet[s>>6] |= 1 << uint(s&63)
+		}
+	}
+}
+
+// InStart reports whether the automaton is in its start configuration, i.e.
+// no partial match is in flight. Quiet symbols consumed here provably leave
+// the executor unchanged except for the symbol clock.
+func (e *Executor) InStart() bool {
+	if e.p.dfaTable != nil {
+		return e.dfa == 0
+	}
+	for _, set := range e.lanes {
+		if set != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// QuietSymbols exposes the start-state skip set as a 512-bit bitmap (bit s
+// of word s/64 = symbol s is quiet). Callers that pre-classify symbols — the
+// injector's batch scanner — fold it into their own anchor maps.
+func (e *Executor) QuietSymbols() *[SymbolSpace / 64]uint64 { return &e.quiet }
+
+// SkipQuiet advances the symbol clock over n symbols without touching
+// automaton state. Only valid when InStart() holds and every skipped symbol
+// is in QuietSymbols; callers own that proof.
+func (e *Executor) SkipQuiet(n int) { e.symbols += uint64(n) }
+
+// StepBatch consumes a run of symbols and returns the OR of the fire masks
+// the per-symbol Step calls would have produced. While the automaton sits in
+// its start configuration, runs of quiet symbols are consumed in bulk; the
+// per-symbol path re-engages at the first symbol that could begin a match
+// and stays engaged until the automaton returns to start.
+func (e *Executor) StepBatch(syms []uint16) uint64 {
+	var fired uint64
+	i, n := 0, len(syms)
+	for i < n {
+		if e.InStart() {
+			j := i
+			for j < n {
+				s := syms[j] & SymbolMask
+				if e.quiet[s>>6]&(1<<uint(s&63)) == 0 {
+					break
+				}
+				j++
+			}
+			if j > i {
+				e.symbols += uint64(j - i)
+				i = j
+				continue
+			}
+		}
+		fired |= e.Step(syms[i])
+		i++
+	}
+	return fired
 }
 
 // Program returns the compiled rule set.

@@ -1,0 +1,133 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkStepBatchCase builds a rule set and stream from raw bytes, randomizes
+// the trigger modes (mode gating reads the symbol clock, so bulk skipping
+// must keep it exact), then runs StepBatch over random chunkings against a
+// fresh per-symbol executor. Every chunk's cumulative fire mask, and the
+// final match/fire counters and symbol clock, must agree.
+func checkStepBatchCase(t *testing.T, data []byte) {
+	c := &byteCursor{data: data}
+	rs := buildFuzzRules(c)
+	for i := range rs {
+		switch c.next() % 4 {
+		case 0:
+			rs[i].Mode = ModeOn
+		case 1:
+			rs[i].Mode = ModeOnce
+		case 2:
+			rs[i].Mode = ModeAfterN
+			rs[i].N = uint64(c.next() % 3)
+		case 3:
+			rs[i].Mode = ModeWindow
+			rs[i].N = uint64(c.next() % 64)
+		}
+	}
+
+	for _, opts := range []Options{{MaxDFAStates: 64}, {ForceLanes: true}} {
+		p, err := Compile(rs, opts)
+		if err != nil {
+			return // invalid rule set; the compile fuzzer owns that path
+		}
+		stream := buildFuzzStream(c, rs, 96)
+
+		ref := NewExecutor(p)
+		batch := NewExecutor(p)
+		pos := 0
+		for pos < len(stream) {
+			n := 1 + int(c.next())%24
+			if pos+n > len(stream) {
+				n = len(stream) - pos
+			}
+			chunk := stream[pos : pos+n]
+			var want uint64
+			for _, sym := range chunk {
+				want |= ref.Step(sym)
+			}
+			if got := batch.StepBatch(chunk); got != want {
+				t.Fatalf("chunk [%d:%d): StepBatch fired %#x, per-symbol %#x (lanes=%v)\nrules: %+v\nstream: %v",
+					pos, pos+n, got, want, opts.ForceLanes, rs, stream[:pos+n])
+			}
+			pos += n
+		}
+		if ref.Symbols() != batch.Symbols() {
+			t.Fatalf("symbol clock diverged: per-symbol %d, batch %d", ref.Symbols(), batch.Symbols())
+		}
+		for i := range rs {
+			rm, rf := ref.Counters(i)
+			bm, bf := batch.Counters(i)
+			if rm != bm || rf != bf {
+				t.Fatalf("rule %d counters diverged: per-symbol (%d,%d), batch (%d,%d)\nrules: %+v",
+					i, rm, rf, bm, bf, rs)
+			}
+		}
+	}
+}
+
+// TestStepBatchEquivalence10k re-proves batch/per-symbol agreement on ten
+// thousand seeded random cases every ordinary `go test` run.
+func TestStepBatchEquivalence10k(t *testing.T) {
+	cases := 10_000
+	if testing.Short() {
+		cases = 1_000
+	}
+	rng := rand.New(rand.NewSource(431))
+	buf := make([]byte, 160)
+	for i := 0; i < cases; i++ {
+		rng.Read(buf)
+		checkStepBatchCase(t, buf)
+		if t.Failed() {
+			t.Fatalf("diverged on case %d", i)
+		}
+	}
+}
+
+// FuzzStepBatch lets the fuzzer hunt for chunkings or rule shapes where the
+// skip-run scanner disagrees with the per-symbol executor.
+// Run with: go test -fuzz=FuzzStepBatch ./internal/rules
+func FuzzStepBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 0x18, 1, 0xFF, 2, 0x19, 0, 0x00, 5, 9, 9})
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 16; i++ {
+		buf := make([]byte, 16+rng.Intn(96))
+		rng.Read(buf)
+		f.Add(buf)
+	}
+	f.Fuzz(checkStepBatchCase)
+}
+
+// The quiet set must never contain a symbol the reference matcher can start
+// a match on: every symbol matching some rule's first step is excluded.
+func TestQuietSymbolsExcludeAnchors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	buf := make([]byte, 64)
+	for caseN := 0; caseN < 500; caseN++ {
+		rng.Read(buf)
+		c := &byteCursor{data: buf}
+		rs := buildFuzzRules(c)
+		for _, opts := range []Options{{MaxDFAStates: 64}, {ForceLanes: true}} {
+			p, err := Compile(rs, opts)
+			if err != nil {
+				break
+			}
+			quiet := NewExecutor(p).QuietSymbols()
+			for s := 0; s < SymbolSpace; s++ {
+				if quiet[s>>6]&(1<<uint(s&63)) == 0 {
+					continue
+				}
+				for i := range rs {
+					first := rs[i].Steps[0]
+					if (uint16(s)^first.Sym)&first.Mask&SymbolMask == 0 {
+						t.Fatalf("case %d: symbol %#03x marked quiet but anchors rule %d (lanes=%v)",
+							caseN, s, i, opts.ForceLanes)
+					}
+				}
+			}
+		}
+	}
+}

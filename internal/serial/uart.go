@@ -37,6 +37,14 @@ type UART struct {
 
 	busyUntil sim.Time
 	sent      uint64
+
+	// Transmit shift queue: the pump delivers q[qPos], reschedules itself
+	// one byte time later, and recycles the queue when it drains. One
+	// pending kernel event per UART instead of one per queued byte.
+	q       []byte
+	qPos    int
+	pumping bool
+	nextAt  sim.Time
 }
 
 // DefaultBaud matches the paper's era of RS-232 management links.
@@ -71,14 +79,36 @@ func (u *UART) Send(data []byte) sim.Time {
 	if u.busyUntil > start {
 		start = u.busyUntil
 	}
-	for _, b := range data {
-		b := b
-		start += u.byteTime
-		u.k.At(start, func() { u.dst.PutByte(b) })
-	}
+	start += sim.Duration(len(data)) * u.byteTime
 	u.busyUntil = start
 	u.sent += uint64(len(data))
+	if len(data) == 0 {
+		return start
+	}
+	u.q = append(u.q, data...)
+	if !u.pumping {
+		u.pumping = true
+		u.nextAt = start - sim.Duration(len(data)-1)*u.byteTime
+		u.k.AtArg(u.nextAt, uartDeliver, u)
+	}
 	return start
+}
+
+// uartDeliver is the capture-free pump: deliver the next queued byte and
+// reschedule for the one behind it.
+func uartDeliver(a any) {
+	u := a.(*UART)
+	b := u.q[u.qPos]
+	u.qPos++
+	if u.qPos < len(u.q) {
+		u.nextAt += u.byteTime
+		u.k.AtArg(u.nextAt, uartDeliver, u)
+	} else {
+		u.pumping = false
+		u.q = u.q[:0]
+		u.qPos = 0
+	}
+	u.dst.PutByte(b)
 }
 
 // SendString queues a string.

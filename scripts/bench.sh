@@ -1,7 +1,9 @@
 #!/bin/sh
 # bench.sh — run the performance benchmarks and record the results as
 # BENCH_<date>.json in the repository root (ns/op, trials/sec, allocs/op,
-# and the custom metrics the benchmarks report).
+# and the custom metrics the benchmarks report). Re-running on the same day
+# merges into the existing file: same-name records are replaced, benchmarks
+# the new run did not execute survive.
 #
 # Usage:
 #   sh scripts/bench.sh          full run (go's default -benchtime)
@@ -19,11 +21,16 @@ out="BENCH_${date}.json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-echo "== go test -bench (kernel + campaign throughput)"
+echo "== go test -bench (kernel + datapath + campaign throughput)"
 # shellcheck disable=SC2086  # benchtime is intentionally word-split
 go test -run '^$' \
-    -bench '^(BenchmarkKernel|BenchmarkCampaignThroughput|BenchmarkKernelEventThroughput|BenchmarkFIFOInjectorPassThrough)$' \
+    -bench '^(BenchmarkKernel|BenchmarkCampaignThroughput|BenchmarkKernelEventThroughput|BenchmarkFIFOInjectorPassThrough|BenchmarkFIFOInjectorPerSymbol|BenchmarkFIFOInjectorArmed)$' \
     -benchmem $benchtime . | tee "$raw"
 
-go run ./scripts/benchjson < "$raw" > "$out"
+if [ -f "$out" ]; then
+    go run ./scripts/benchjson -merge "$out" < "$raw" > "$out.tmp"
+    mv "$out.tmp" "$out"
+else
+    go run ./scripts/benchjson < "$raw" > "$out"
+fi
 echo "wrote $out"

@@ -2,12 +2,28 @@
 // document on stdout, one record per benchmark with ns/op, B/op, allocs/op,
 // and any custom b.ReportMetric metrics (events/s, trials/s, …) keyed by
 // unit. scripts/bench.sh pipes through it to produce BENCH_<date>.json.
+//
+// Modes:
+//
+//	benchjson                  convert stdin to JSON on stdout
+//	benchjson -merge FILE      convert stdin, then overlay the records onto
+//	                           FILE's document (same-name records replaced,
+//	                           others kept) — re-running bench.sh on the same
+//	                           day extends the day's file instead of erasing
+//	                           benchmarks the second run did not execute
+//	benchjson -compare BASE -candidate CAND -bench NAME -metric UNIT \
+//	          -max-regress FRAC [-lower-better]
+//	                           exit nonzero when CAND's metric for NAME
+//	                           regressed more than FRAC relative to BASE —
+//	                           the CI regression gate
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -31,8 +47,38 @@ type output struct {
 }
 
 func main() {
+	mergePath := flag.String("merge", "", "JSON file to overlay the parsed records onto")
+	comparePath := flag.String("compare", "", "baseline JSON file (compare mode)")
+	candidatePath := flag.String("candidate", "", "candidate JSON file (compare mode)")
+	benchName := flag.String("bench", "", "benchmark name to compare")
+	metric := flag.String("metric", "ns/op", "metric unit to compare (ns/op or a custom unit)")
+	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional regression")
+	lowerBetter := flag.Bool("lower-better", false, "treat smaller metric values as better (e.g. ns/op)")
+	flag.Parse()
+
+	if *comparePath != "" {
+		os.Exit(compare(*comparePath, *candidatePath, *benchName, *metric, *maxRegress, *lowerBetter))
+	}
+
+	doc := parseStream(os.Stdin)
+	if *mergePath != "" {
+		if old, err := readDoc(*mergePath); err == nil {
+			doc = mergeDocs(old, doc)
+		}
+		// A missing or unreadable merge target degrades to plain convert.
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseStream consumes `go test -bench` output.
+func parseStream(r io.Reader) output {
 	var out output
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -55,39 +101,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
+	return out
 }
 
 // parseBench parses one result line:
 //
 //	BenchmarkKernel-4  1000  11763 ns/op  85012 events/s  5376 B/op  1 allocs/op
 //
-// The format is pairs of (value, unit) after the iteration count.
+// The format is pairs of (value, unit) after the iteration count. Slashed
+// sub-benchmark names (BenchmarkX/workers=2) pass through unchanged apart
+// from the trailing -GOMAXPROCS suffix; a benchmark reporting no custom
+// metrics (not even -benchmem columns) yields a record with just ns/op.
 func parseBench(line string) (record, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
 		return record{}, false
 	}
-	name := fields[0]
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		// Strip the -GOMAXPROCS suffix.
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
-		}
-	}
+	name := stripProcs(fields[0])
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return record{}, false
 	}
 	r := record{Name: name, Iters: iters, Metrics: map[string]float64{}}
-	for i := 2; i+1 < len(fields); i += 2 {
+	// Walk (value, unit) pairs; a field that is not a number advances by one
+	// so a stray token cannot shift every following pair out of alignment.
+	for i := 2; i+1 < len(fields); {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
+			i++
 			continue
 		}
 		if fields[i+1] == "ns/op" {
@@ -95,9 +136,137 @@ func parseBench(line string) (record, bool) {
 		} else {
 			r.Metrics[fields[i+1]] = v
 		}
+		i += 2
 	}
 	if len(r.Metrics) == 0 {
 		r.Metrics = nil
 	}
 	return r, true
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix go test appends to every
+// benchmark name, and nothing else: dashes inside sub-benchmark names
+// (BenchmarkX/per-symbol-4 -> BenchmarkX/per-symbol) survive.
+func stripProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func readDoc(path string) (output, error) {
+	var doc output
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	err = json.Unmarshal(data, &doc)
+	return doc, err
+}
+
+// mergeDocs overlays cur's records onto old: records sharing a name are
+// replaced by cur's version in place, new names append in cur's order, and
+// old records cur did not re-run survive. Header fields prefer cur.
+func mergeDocs(old, cur output) output {
+	merged := old
+	if cur.Goos != "" {
+		merged.Goos = cur.Goos
+	}
+	if cur.Goarch != "" {
+		merged.Goarch = cur.Goarch
+	}
+	if cur.Pkg != "" {
+		merged.Pkg = cur.Pkg
+	}
+	if cur.CPU != "" {
+		merged.CPU = cur.CPU
+	}
+	merged.Benchmarks = append([]record(nil), old.Benchmarks...)
+	index := make(map[string]int, len(merged.Benchmarks))
+	for i, r := range merged.Benchmarks {
+		index[r.Name] = i
+	}
+	for _, r := range cur.Benchmarks {
+		if i, ok := index[r.Name]; ok {
+			merged.Benchmarks[i] = r
+		} else {
+			index[r.Name] = len(merged.Benchmarks)
+			merged.Benchmarks = append(merged.Benchmarks, r)
+		}
+	}
+	return merged
+}
+
+// metricOf extracts the requested metric from a record; ns/op reads the
+// dedicated field so benchmarks with no custom metrics compare cleanly.
+func metricOf(r record, unit string) (float64, bool) {
+	if unit == "ns/op" {
+		return r.NsPerOp, r.NsPerOp != 0
+	}
+	v, ok := r.Metrics[unit]
+	return v, ok
+}
+
+func find(doc output, name string) (record, bool) {
+	for _, r := range doc.Benchmarks {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return record{}, false
+}
+
+// compare returns the process exit code: 0 pass, 1 regression, 2 usage or
+// missing-data error.
+func compare(basePath, candPath, name, unit string, maxRegress float64, lowerBetter bool) int {
+	if candPath == "" || name == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare needs -candidate and -bench")
+		return 2
+	}
+	base, err := readDoc(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+		return 2
+	}
+	cand, err := readDoc(candPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: candidate: %v\n", err)
+		return 2
+	}
+	br, ok := find(base, name)
+	if !ok {
+		// A baseline predating the benchmark cannot gate it.
+		fmt.Fprintf(os.Stderr, "benchjson: %s not in baseline, skipping gate\n", name)
+		return 0
+	}
+	cr, ok := find(cand, name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: %s not in candidate\n", name)
+		return 2
+	}
+	bv, ok := metricOf(br, unit)
+	if !ok || bv == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s has no %s, skipping gate\n", name, unit)
+		return 0
+	}
+	cv, ok := metricOf(cr, unit)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: candidate %s has no %s\n", name, unit)
+		return 2
+	}
+	var regress float64
+	if lowerBetter {
+		regress = cv/bv - 1
+	} else {
+		regress = 1 - cv/bv
+	}
+	fmt.Printf("%s %s: baseline %.4g candidate %.4g regression %.1f%% (limit %.1f%%)\n",
+		name, unit, bv, cv, 100*regress, 100*maxRegress)
+	if regress > maxRegress {
+		fmt.Fprintf(os.Stderr, "benchjson: %s regressed beyond the limit\n", name)
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchPairs(t *testing.T) {
+	r, ok := parseBench("BenchmarkKernel-4  1000  11763 ns/op  85012 events/s  5376 B/op  1 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkKernel" || r.Iters != 1000 || r.NsPerOp != 11763 {
+		t.Errorf("got %+v", r)
+	}
+	want := map[string]float64{"events/s": 85012, "B/op": 5376, "allocs/op": 1}
+	for k, v := range want {
+		if r.Metrics[k] != v {
+			t.Errorf("metric %s = %v, want %v", k, r.Metrics[k], v)
+		}
+	}
+}
+
+func TestParseBenchSlashedNames(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkCampaignThroughput/workers=2-4":   "BenchmarkCampaignThroughput/workers=2",
+		"BenchmarkFIFOInjectorArmed/per-symbol-4":   "BenchmarkFIFOInjectorArmed/per-symbol",
+		"BenchmarkRuleEngine/8rules/dfa-16":         "BenchmarkRuleEngine/8rules/dfa",
+		"BenchmarkAblationPipelineDepth/slack=20-1": "BenchmarkAblationPipelineDepth/slack=20",
+	}
+	for in, want := range cases {
+		r, ok := parseBench(in + "  100  5.0 ns/op")
+		if !ok {
+			t.Fatalf("%s: not parsed", in)
+		}
+		if r.Name != want {
+			t.Errorf("%s: name = %s, want %s", in, r.Name, want)
+		}
+	}
+}
+
+func TestParseBenchNoCustomMetrics(t *testing.T) {
+	r, ok := parseBench("Benchmark8b10bEncode-4  92371734  13.02 ns/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.NsPerOp != 13.02 || r.Metrics != nil {
+		t.Errorf("got %+v, want bare ns/op record", r)
+	}
+}
+
+func TestParseBenchStrayTokenRealigns(t *testing.T) {
+	// A non-numeric token must advance by one, not swallow the next pair.
+	r, ok := parseBench("BenchmarkX-4  100  7.0 ns/op  oops  42 widgets/s")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Metrics["widgets/s"] != 42 {
+		t.Errorf("pair after stray token lost: %+v", r)
+	}
+}
+
+func TestParseStream(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: netfi
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkA-4  10  100 ns/op
+--- BENCH: BenchmarkA-4
+    some log output
+PASS
+ok  netfi 1.0s
+`
+	doc := parseStream(strings.NewReader(in))
+	if doc.Goos != "linux" || doc.Pkg != "netfi" || len(doc.Benchmarks) != 1 {
+		t.Fatalf("got %+v", doc)
+	}
+}
+
+func TestMergeDocs(t *testing.T) {
+	old := output{
+		Goos: "linux",
+		Benchmarks: []record{
+			{Name: "A", NsPerOp: 1},
+			{Name: "B", NsPerOp: 2},
+		},
+	}
+	cur := output{
+		Benchmarks: []record{
+			{Name: "B", NsPerOp: 20},
+			{Name: "C", NsPerOp: 3},
+		},
+	}
+	m := mergeDocs(old, cur)
+	if len(m.Benchmarks) != 3 {
+		t.Fatalf("merged %d records, want 3", len(m.Benchmarks))
+	}
+	if m.Benchmarks[0].Name != "A" || m.Benchmarks[1].NsPerOp != 20 || m.Benchmarks[2].Name != "C" {
+		t.Errorf("merge order/content wrong: %+v", m.Benchmarks)
+	}
+	if m.Goos != "linux" {
+		t.Errorf("header lost: %+v", m)
+	}
+	if old.Benchmarks[1].NsPerOp != 2 {
+		t.Error("merge mutated the old document")
+	}
+}
+
+func TestMetricOf(t *testing.T) {
+	r := record{NsPerOp: 5, Metrics: map[string]float64{"MB/s": 800}}
+	if v, ok := metricOf(r, "ns/op"); !ok || v != 5 {
+		t.Errorf("ns/op = %v %v", v, ok)
+	}
+	if v, ok := metricOf(r, "MB/s"); !ok || v != 800 {
+		t.Errorf("MB/s = %v %v", v, ok)
+	}
+	if _, ok := metricOf(record{}, "MB/s"); ok {
+		t.Error("missing metric reported ok")
+	}
+}
