@@ -14,6 +14,7 @@ import (
 	"netfi/internal/core"
 	"netfi/internal/enc8b10b"
 	"netfi/internal/fibrechannel"
+	"netfi/internal/monitor"
 	"netfi/internal/myrinet"
 	"netfi/internal/phy"
 	"netfi/internal/rules"
@@ -313,6 +314,76 @@ func BenchmarkFig9SlackBuffer(b *testing.B) {
 		s.Push(c)
 		s.Pop()
 	}
+}
+
+// ---- monitoring plane ----
+
+// monitorBenchBurst builds a wire burst of eight complete data packets
+// (route hop, type, MACs, 100-byte payload, CRC stand-in, GAP) cycling over
+// six src/dst pairs, as a switch-port tap would observe it.
+func monitorBenchBurst() []phy.Character {
+	var chars []phy.Character
+	for p := 0; p < 8; p++ {
+		dst, src := campaign.NodeMAC(p%3), campaign.NodeMAC((p+1)%3)
+		raw := []byte{myrinet.SwitchHop(2), myrinet.RouteFinal, 0, 0, 0, byte(myrinet.TypeData)}
+		raw = append(raw, dst[:]...)
+		raw = append(raw, src[:]...)
+		for i := 0; i < 100; i++ {
+			raw = append(raw, 0x55)
+		}
+		raw = append(raw, 0xAB)
+		chars = append(chars, phy.DataChars(raw)...)
+		chars = append(chars, phy.ControlChar(myrinet.SymGap))
+	}
+	return chars
+}
+
+// BenchmarkMonitorTap measures the tap's per-character observation cost with
+// everything armed: packet reassembly, flow aggregation, and the accrual
+// detector. Steady state must be allocation-free (the alloc_test guard in
+// internal/myrinet pins the disabled path at exactly zero).
+func BenchmarkMonitorTap(b *testing.B) {
+	k := sim.NewKernel(1)
+	p := monitor.NewPlane(k, monitor.Config{})
+	tap := p.NewTap("bench", monitor.TapOptions{Flows: true, Detect: true})
+	burst := monitorBenchBurst()
+	now := sim.Time(0)
+	b.SetBytes(int64(len(burst)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += sim.Time(sim.Microsecond)
+		tap.ObserveChars(now, burst)
+	}
+	_, _, packets, _ := tap.Stats()
+	b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "packets/s")
+}
+
+// BenchmarkMonitorFlowExport measures flow-record throughput through the
+// full cache life cycle: open (pooled state), aggregate, idle-expire into
+// the bounded export ring, and drain.
+func BenchmarkMonitorFlowExport(b *testing.B) {
+	ring := monitor.NewExportRing(1024)
+	ft := monitor.NewFlowTable("bench", ring, sim.Millisecond)
+	var key monitor.FlowKey
+	now := sim.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key.Src[0], key.Src[1] = byte(i), byte(i>>8)
+		now += sim.Time(10 * sim.Microsecond)
+		ft.Observe(key, 64, now)
+		if i&63 == 63 {
+			now += sim.Time(2 * sim.Millisecond)
+			ft.ExpireIdle(now)
+			for {
+				if _, ok := ring.Pop(); !ok {
+					break
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(ring.Exported())/b.Elapsed().Seconds(), "flows/s")
 }
 
 // ---- substrate micro-benchmarks ----

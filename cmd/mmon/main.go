@@ -12,6 +12,8 @@
 //	-interval D  sampling interval in milliseconds (default 500)
 //	-corrupt     corrupt the tapped node's identity toward the controller
 //	             mid-run, reproducing Fig. 11 live
+//	-live        arm the monitoring plane: per-sample phi values, live flow
+//	             counts, and anomaly events alongside the counter dumps
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"os"
 
 	"netfi/internal/campaign"
+	"netfi/internal/monitor"
 	"netfi/internal/netmap"
 	"netfi/internal/sim"
 )
@@ -29,6 +32,7 @@ func main() {
 	duration := flag.Float64("duration", 2, "observation time, simulated seconds")
 	interval := flag.Float64("interval", 500, "sampling interval, simulated milliseconds")
 	corrupt := flag.Bool("corrupt", false, "corrupt the tapped node's identity to the controller's mid-run")
+	live := flag.Bool("live", false, "arm the monitoring plane (phi values, flows, anomalies)")
 	flag.Parse()
 
 	tb := campaign.NewTestbed(campaign.TestbedConfig{
@@ -41,6 +45,44 @@ func main() {
 
 	total := sim.Duration(*duration * float64(sim.Second))
 	step := sim.Duration(*interval * float64(sim.Millisecond))
+
+	// -live arms the monitoring plane over the same test bed: flow export
+	// on every attached switch input, an accrual detector plus latency-shift
+	// tracker on every host's arriving stream (the continuous load is the
+	// heartbeat), and the standard loss probe.
+	var mon *monitor.Plane
+	var hostTaps []*monitor.Tap
+	printedEvents := 0
+	if *live {
+		// The load is bursty (12.5 ms periods), so the arrival cadence at
+		// each host is bimodal: raise the phi threshold above the level
+		// the inter-burst silences reach, or every period would flap the
+		// detectors.
+		mon = monitor.NewPlane(tb.K, monitor.Config{
+			Phi: monitor.PhiConfig{Threshold: 2},
+		})
+		for p := 0; p < tb.Switch.Ports(); p++ {
+			if tb.Switch.Attached(p) {
+				mon.TapSwitchPort(tb.Switch, p, monitor.TapOptions{Flows: true})
+			}
+		}
+		for _, n := range tb.Nodes {
+			hostTaps = append(hostTaps, mon.TapInterface(n.Interface(),
+				monitor.TapOptions{Detect: true}))
+		}
+		mon.AddLossProbe("net.drops", func() uint64 {
+			var d uint64
+			for p := 0; p < tb.Switch.Ports(); p++ {
+				d += tb.Switch.PortCounters(p).TotalDrops()
+			}
+			for _, n := range tb.Nodes {
+				d += n.Interface().Counters().TotalDrops()
+			}
+			return d
+		})
+		mon.SetStopAt(sim.Time(total))
+		mon.Start()
+	}
 	if *corrupt {
 		tb.K.After(total/2, func() {
 			m := campaign.NodeMAC(0)
@@ -66,9 +108,30 @@ func main() {
 			}
 			fmt.Printf("sw.p%d  %v\n", p, tb.Switch.PortCounters(p))
 		}
+		if mon != nil {
+			fmt.Printf("plane ")
+			for _, tp := range hostTaps {
+				fmt.Printf(" %s phi=%.2f", tp.Name(), tp.Detector().Phi(tb.K.Now()))
+			}
+			active := 0
+			for _, tp := range mon.Taps() {
+				if tp.Flows() != nil {
+					active += tp.Flows().Active()
+				}
+			}
+			fmt.Printf("  flows active=%d exported=%d\n", active, mon.Ring().Exported())
+			for ; printedEvents < len(mon.Events()); printedEvents++ {
+				fmt.Printf("plane  event %v\n", mon.Events()[printedEvents])
+			}
+		}
 		fmt.Println()
 	}
 	load.Stop()
+	if mon != nil {
+		mon.Stop()
+		fmt.Printf("plane: %d sampling passes, %d events, %d flows exported\n",
+			mon.Ticks(), len(mon.Events()), mon.Ring().Exported())
+	}
 	total64, inconsistent := mapper.Rounds()
 	fmt.Printf("mapping rounds: %d (%d inconsistent)\n", total64, inconsistent)
 	if load.CorruptAccepted() > 0 {

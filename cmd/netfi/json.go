@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"netfi/internal/campaign"
+	"netfi/internal/monitor"
+	"netfi/internal/sim"
+)
+
+// The -json views: durations render as milliseconds so consumers never need
+// the simulator's time base.
+
+type jsonTrial struct {
+	ID             int     `json:"id"`
+	Family         string  `json:"family"`
+	Outcome        string  `json:"outcome"`
+	Sent           int     `json:"sent"`
+	Delivered      uint64  `json:"delivered"`
+	Retransmits    uint64  `json:"retransmits"`
+	GaveUp         uint64  `json:"gave_up"`
+	RecoveryEvents uint64  `json:"recovery_events"`
+	Injections     uint64  `json:"injections"`
+	HeldOutputs    int     `json:"held_outputs"`
+	InjectedAtMs   float64 `json:"injected_at_ms"` // -1: rule never fired
+	Detected       bool    `json:"detected"`
+	DetectLatMs    float64 `json:"detect_latency_ms"` // -1: undetected
+	DetectSource   string  `json:"detect_source,omitempty"`
+	FlowsExported  uint64  `json:"flows_exported"`
+}
+
+type jsonDetection struct {
+	Injected          int       `json:"injected"`
+	NonMasked         int       `json:"non_masked"`
+	Detected          int       `json:"detected"`
+	DetectedNonMasked int       `json:"detected_non_masked"`
+	Coverage          float64   `json:"coverage_non_masked"`
+	LatencyCDFMs      []float64 `json:"latency_cdf_ms"`
+}
+
+type jsonSweep struct {
+	Trials    []jsonTrial    `json:"trials"`
+	Tally     map[string]int `json:"tally"`
+	Detection jsonDetection  `json:"detection"`
+}
+
+type jsonResilience struct {
+	Section     string    `json:"section"`
+	Seed        int64     `json:"seed"`
+	RecoveryOn  jsonSweep `json:"recovery_on"`
+	RecoveryOff jsonSweep `json:"recovery_off"`
+}
+
+type jsonEvent struct {
+	TimeMs float64 `json:"time_ms"`
+	Kind   string  `json:"kind"`
+	Source string  `json:"source"`
+	Detail string  `json:"detail"`
+	Value  float64 `json:"value"`
+}
+
+type jsonFlow struct {
+	Tap     string  `json:"tap"`
+	Src     string  `json:"src"`
+	Dst     string  `json:"dst"`
+	Packets uint64  `json:"packets"`
+	Bytes   uint64  `json:"bytes"`
+	FirstMs float64 `json:"first_ms"`
+	LastMs  float64 `json:"last_ms"`
+	Cause   string  `json:"cause"`
+}
+
+type jsonMonitor struct {
+	Section        string               `json:"section"`
+	Seed           int64                `json:"seed"`
+	Sent           int                  `json:"sent"`
+	Delivered      uint64               `json:"delivered"`
+	Retransmits    uint64               `json:"retransmits"`
+	RecoveryEvents uint64               `json:"recovery_events"`
+	Injections     uint64               `json:"injections"`
+	InjectedAtMs   float64              `json:"injected_at_ms"`
+	DetectLatMs    float64              `json:"detect_latency_ms"`
+	DetectSource   string               `json:"detect_source,omitempty"`
+	Ticks          uint64               `json:"ticks"`
+	Events         []jsonEvent          `json:"events"`
+	FlowsExported  uint64               `json:"flows_exported"`
+	FlowsDropped   uint64               `json:"flows_dropped"`
+	Flows          []jsonFlow           `json:"flows"`
+	Taps           []campaign.TapTotals `json:"taps"`
+}
+
+func ms(d sim.Duration) float64 {
+	if d < 0 {
+		return -1
+	}
+	return d.Seconds() * 1000
+}
+
+func viewSweep(trials []campaign.ResilienceTrial) jsonSweep {
+	sw := jsonSweep{Tally: map[string]int{}}
+	for _, t := range trials {
+		jt := jsonTrial{
+			ID: t.ID, Family: t.Family, Outcome: string(t.Outcome),
+			Sent: t.Sent, Delivered: t.Delivered, Retransmits: t.Retransmits,
+			GaveUp: t.GaveUp, RecoveryEvents: t.RecoveryEvents,
+			Injections: t.Injections, HeldOutputs: t.HeldOutputs,
+			InjectedAtMs: ms(t.InjectedAt), Detected: t.Detected,
+			DetectLatMs: -1, DetectSource: t.DetectSource,
+			FlowsExported: t.FlowsExported,
+		}
+		if t.Detected {
+			jt.DetectLatMs = ms(t.DetectLatency)
+		}
+		sw.Trials = append(sw.Trials, jt)
+		sw.Tally[string(t.Outcome)]++
+	}
+	det := campaign.ComputeDetection(trials)
+	sw.Detection = jsonDetection{
+		Injected: det.Injected, NonMasked: det.NonMasked,
+		Detected: det.Detected, DetectedNonMasked: det.DetectedNonMasked,
+		Coverage:     det.CoverageNonMasked(),
+		LatencyCDFMs: []float64{},
+	}
+	for _, l := range det.Latencies {
+		sw.Detection.LatencyCDFMs = append(sw.Detection.LatencyCDFMs, ms(l))
+	}
+	return sw
+}
+
+func viewEvents(events []monitor.Event) []jsonEvent {
+	out := []jsonEvent{}
+	for _, e := range events {
+		out = append(out, jsonEvent{
+			TimeMs: e.Time.Seconds() * 1000, Kind: e.Kind.String(),
+			Source: e.Source, Detail: e.Detail, Value: e.Value,
+		})
+	}
+	return out
+}
+
+func viewFlows(flows []monitor.FlowRecord) []jsonFlow {
+	out := []jsonFlow{}
+	for _, f := range flows {
+		out = append(out, jsonFlow{
+			Tap: f.Tap, Src: fmt.Sprintf("%x", f.Key.Src), Dst: fmt.Sprintf("%x", f.Key.Dst),
+			Packets: f.Packets, Bytes: f.Bytes,
+			FirstMs: f.First.Seconds() * 1000, LastMs: f.Last.Seconds() * 1000,
+			Cause: f.Cause.String(),
+		})
+	}
+	return out
+}
+
+// jsonReport renders the sections with structured output. Sections without a
+// machine-readable form report an error (the caller exits 2, matching the
+// unknown-experiment path).
+func jsonReport(name string, o expOpts) (string, error) {
+	var v any
+	switch name {
+	case "resilience":
+		res := campaign.RunResilience(campaign.ResilienceOptions{
+			Seed:    o.seed,
+			Trials:  int(14 * o.scale),
+			Workers: o.workers,
+		})
+		v = jsonResilience{
+			Section: "resilience", Seed: o.seed,
+			RecoveryOn:  viewSweep(res.Trials),
+			RecoveryOff: viewSweep(res.Baseline),
+		}
+	case "monitor":
+		res := campaign.RunMonitor(campaign.MonitorOptions{Seed: o.seed})
+		v = jsonMonitor{
+			Section: "monitor", Seed: o.seed,
+			Sent: res.Sent, Delivered: res.Delivered, Retransmits: res.Retransmits,
+			RecoveryEvents: res.RecoveryEvents, Injections: res.Injections,
+			InjectedAtMs: ms(res.InjectedAt), DetectLatMs: ms(res.DetectLatency),
+			DetectSource: res.DetectSource, Ticks: res.Ticks,
+			Events:        viewEvents(res.Events),
+			FlowsExported: res.FlowsExported, FlowsDropped: res.FlowsDropped,
+			Flows: viewFlows(res.Flows), Taps: res.Taps,
+		}
+	default:
+		return "", fmt.Errorf("-json supports resilience and monitor, not %q", name)
+	}
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}

@@ -11,11 +11,14 @@
 //	netfi passthrough  transparency demonstration (§3.5 / Fig. 8)
 //	netfi multirule    multi-target corruption via the rule engine
 //	netfi resilience   failure-recovery campaign with outcome triage
+//	netfi monitor      monitoring plane: accrual detection + flow export
 //	netfi all          everything above in order
 //
 // Flags:
 //
 //	-seed N        simulation seed (default 1)
+//	-json          machine-readable output (resilience and monitor only):
+//	               detection-latency CDFs, per-trial triage, flow summaries
 //	-scale F       scale experiment durations/rounds toward the paper's full
 //	               lengths (default 1.0; e.g. -scale 12 runs Table 2 with
 //	               240k ping-pong rounds and §4.3.1 for a full minute)
@@ -55,13 +58,14 @@ func run(args []string) int {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	scale := fs.Float64("scale", 1.0, "scale experiment length toward the paper's full runs")
 	workers := fs.Int("workers", campaign.DefaultWorkers(), "worker goroutines for campaign trials (1 = serial)")
+	jsonOut := fs.Bool("json", false, "machine-readable output (resilience and monitor only)")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := fs.String("memprofile", "", "write heap profile to file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: netfi [-seed N] [-scale F] [-workers N] [-cpuprofile F] [-memprofile F] <table1|table2|table4|sec431|sec432|sec433|sec434|passthrough|multirule|resilience|all>")
+		fmt.Fprintln(os.Stderr, "usage: netfi [-seed N] [-scale F] [-workers N] [-json] [-cpuprofile F] [-memprofile F] <table1|table2|table4|sec431|sec432|sec433|sec434|passthrough|multirule|resilience|monitor|all>")
 		return 2
 	}
 
@@ -105,10 +109,20 @@ func run(args []string) int {
 		"passthrough": passthrough,
 		"multirule":   multirule,
 		"resilience":  resilience,
+		"monitor":     monitorSection,
 	}
 	name := fs.Arg(0)
+	if *jsonOut {
+		out, err := jsonReport(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netfi: %v\n", err)
+			return 2
+		}
+		fmt.Println(out)
+		return 0
+	}
 	if name == "all" {
-		order := []string{"table1", "table2", "table4", "sec431", "sec432", "sec433", "sec434", "passthrough", "multirule", "resilience"}
+		order := []string{"table1", "table2", "table4", "sec431", "sec432", "sec433", "sec434", "passthrough", "multirule", "resilience", "monitor"}
 		// Sections are independent simulations, so `all` fans the sections
 		// themselves out over the pool. The inner campaigns then run their
 		// trials serially (workers=1) to avoid oversubscribing the CPUs;
@@ -205,6 +219,12 @@ func resilience(o expOpts) string {
 	})
 	return "Resilience campaign: randomized injections, recovery on vs off (same seeds)\n" +
 		campaign.FormatResilience(res)
+}
+
+func monitorSection(o expOpts) string {
+	res := campaign.RunMonitor(campaign.MonitorOptions{Seed: o.seed})
+	return "Monitoring plane: accrual failure detection, flow export, anomaly triage\n" +
+		campaign.FormatMonitor(res)
 }
 
 func passthrough(o expOpts) string {

@@ -14,6 +14,16 @@ func TestRunUsageErrors(t *testing.T) {
 	}
 }
 
+func TestRunJSON(t *testing.T) {
+	if code := run([]string{"-json", "monitor"}); code != 0 {
+		t.Errorf("-json monitor -> %d, want 0", code)
+	}
+	// Sections without a machine-readable form are a usage error.
+	if code := run([]string{"-json", "table1"}); code != 2 {
+		t.Errorf("-json table1 -> %d, want 2", code)
+	}
+}
+
 func TestRunTable1(t *testing.T) {
 	if code := run([]string{"table1"}); code != 0 {
 		t.Errorf("table1 -> %d, want 0", code)

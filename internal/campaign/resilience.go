@@ -3,9 +3,11 @@ package campaign
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"netfi/internal/host"
+	"netfi/internal/monitor"
 	"netfi/internal/myrinet"
 	"netfi/internal/sim"
 )
@@ -61,6 +63,22 @@ type ResilienceTrial struct {
 	ResetsOnWire uint64
 	// HeldOutputs is the switch's owned-output count after quiescence.
 	HeldOutputs int
+
+	// Detection axis (the monitoring plane runs armed in every trial).
+	// InjectedAt is when the first fault landed on the wire, relative to
+	// traffic start; negative when the rule never fired.
+	InjectedAt sim.Duration
+	// Detected reports whether the plane raised any event at or after
+	// the injection.
+	Detected bool
+	// DetectLatency is first-event time minus injection time.
+	DetectLatency sim.Duration
+	// DetectSource names the first detector that fired, as
+	// "source/detail" (e.g. "node1.rx/phi", "net.drops/loss-burst").
+	DetectSource string
+	// FlowsExported counts NetFlow records the plane's switch taps
+	// exported over the trial.
+	FlowsExported uint64
 }
 
 // ResilienceResult pairs the recovery-on sweep with its recovery-off rerun
@@ -193,6 +211,80 @@ func recoveryEventCount(tb *Testbed) uint64 {
 	return n
 }
 
+// armTrialMonitor attaches the monitoring plane to a resilience testbed:
+// flow-export taps on every attached switch input, arrival-side accrual
+// detectors on the two lowest untapped nodes (fed by heartbeat beacons
+// between them — beacons never cross the injector's cable, preserving the
+// workload discipline the fault families rely on), and loss / recovery /
+// wedge probes over the network counters. The beacons and the sampling
+// clock stop at horizon. The returned func reports when the first fault
+// landed on the wire.
+func armTrialMonitor(tb *Testbed, horizon sim.Time) (*monitor.Plane, func() (sim.Time, bool)) {
+	mon := monitor.NewPlane(tb.K, monitor.Config{
+		SampleInterval: sim.Millisecond,
+		FlowIdle:       25 * sim.Millisecond,
+	})
+	for p := 0; p < tb.Switch.Ports(); p++ {
+		if tb.Switch.Attached(p) {
+			mon.TapSwitchPort(tb.Switch, p, monitor.TapOptions{Flows: true})
+		}
+	}
+
+	// Heartbeats between the first two nodes that are not the tapped one.
+	var beat []int
+	for i := range tb.Nodes {
+		if i != tb.cfg.TapNode && len(beat) < 2 {
+			beat = append(beat, i)
+		}
+	}
+	if len(beat) == 2 {
+		a, b := beat[0], beat[1]
+		for _, i := range beat {
+			mon.TapInterface(tb.Nodes[i].Interface(), monitor.TapOptions{Detect: true})
+			if _, err := tb.Nodes[i].Bind(host.HeartbeatPort,
+				func(myrinet.MAC, uint16, []byte) {}); err != nil {
+				panic(err)
+			}
+		}
+		host.NewHeartbeat(tb.K, tb.Nodes[a], host.HeartbeatConfig{
+			Dst: NodeMAC(b), Until: horizon,
+		}).Start()
+		host.NewHeartbeat(tb.K, tb.Nodes[b], host.HeartbeatConfig{
+			Dst: NodeMAC(a), Until: horizon,
+		}).Start()
+	}
+
+	mon.AddLossProbe("net.drops", func() uint64 {
+		var n uint64
+		for p := 0; p < tb.Switch.Ports(); p++ {
+			n += tb.Switch.PortCounters(p).TotalDrops()
+		}
+		for _, nd := range tb.Nodes {
+			n += nd.Interface().Counters().TotalDrops()
+		}
+		return n
+	})
+	mon.AddCounterProbe("net.recovery", "recovery", func() uint64 {
+		return recoveryEventCount(tb)
+	})
+	mon.AddWedgeProbe("sw0.held", func() int { return tb.Switch.HeldOutputs() })
+
+	var injectedAt sim.Time
+	injSeen := false
+	hook := func() {
+		if !injSeen {
+			injSeen = true
+			injectedAt = tb.K.Now()
+		}
+	}
+	tb.Injector.Engine(DirOutbound).SetInjectionHook(hook)
+	tb.Injector.Engine(DirInbound).SetInjectionHook(hook)
+
+	mon.SetStopAt(horizon)
+	mon.Start()
+	return mon, func() (sim.Time, bool) { return injectedAt, injSeen }
+}
+
 // runResilienceTrial executes one fault injection against a fresh testbed.
 // With recovery enabled the workload is the reliable transport; disabled, it
 // is plain UDP — the paper's stack, which loses or wedges instead.
@@ -229,12 +321,23 @@ func runResilienceTrial(seed int64, trial int, opts ResilienceOptions, recovery 
 	tb.K.After(armAt, func() { tb.Console.Send(cmd) })
 
 	tr := ResilienceTrial{
-		ID:      trial,
-		Family:  fam.name,
-		Command: cmd,
-		ArmAt:   armAt,
-		Sent:    opts.Messages,
+		ID:         trial,
+		Family:     fam.name,
+		Command:    cmd,
+		ArmAt:      armAt,
+		Sent:       opts.Messages,
+		InjectedAt: -1,
 	}
+
+	// Arm the monitoring plane. base is traffic start; the heartbeat
+	// beacons and the sampling clock both end at a horizon comfortably
+	// past the last workload message and every recovery watchdog, so the
+	// detectors cover the whole fault window yet the event queue still
+	// drains in healthy trials (and end-of-workload silence is never
+	// mistaken for failure).
+	base := tb.K.Now()
+	horizon := base + sim.Time(armSpan+opts.Gap+60*sim.Millisecond)
+	mon, injected := armTrialMonitor(tb, horizon)
 
 	payload := make([]byte, resiliencePayloadLen)
 	for i := range payload {
@@ -305,6 +408,17 @@ func runResilienceTrial(seed int64, trial int, opts ResilienceOptions, recovery 
 	tr.ResetsOnWire = tb.Injector.Engine(DirOutbound).ResetsSeen() +
 		tb.Injector.Engine(DirInbound).ResetsSeen()
 
+	mon.Stop()
+	tr.FlowsExported = mon.Ring().Exported()
+	if at, ok := injected(); ok {
+		tr.InjectedAt = sim.Duration(at - base)
+		if e, found := mon.FirstEventAtOrAfter(at); found {
+			tr.Detected = true
+			tr.DetectLatency = sim.Duration(e.Time - at)
+			tr.DetectSource = e.Source + "/" + e.Detail
+		}
+	}
+
 	if recovery {
 		s := rel.Stats()
 		tr.Delivered = s.Delivered
@@ -374,16 +488,97 @@ func CountOutcomes(trials []ResilienceTrial) map[TrialOutcome]int {
 	return m
 }
 
-// FormatResilience renders both sweeps and their tallies.
+// DetectionStats summarizes one sweep's detection axis.
+type DetectionStats struct {
+	// Injected counts trials whose fault actually landed on the wire.
+	Injected int
+	// NonMasked counts injected trials with any observable effect
+	// (outcome != masked) — the denominator the ISSUE's ≥90% bound uses.
+	NonMasked int
+	// Detected / DetectedNonMasked count plane detections among them.
+	Detected          int
+	DetectedNonMasked int
+	// Latencies holds the detection latencies of detected trials, sorted
+	// ascending: the detection-latency CDF.
+	Latencies []sim.Duration
+}
+
+// ComputeDetection tallies the detection axis of a sweep.
+func ComputeDetection(trials []ResilienceTrial) DetectionStats {
+	var s DetectionStats
+	for _, t := range trials {
+		if t.InjectedAt < 0 {
+			continue
+		}
+		s.Injected++
+		masked := t.Outcome == OutcomeMasked
+		if !masked {
+			s.NonMasked++
+		}
+		if t.Detected {
+			s.Detected++
+			if !masked {
+				s.DetectedNonMasked++
+			}
+			s.Latencies = append(s.Latencies, t.DetectLatency)
+		}
+	}
+	sort.Slice(s.Latencies, func(i, j int) bool { return s.Latencies[i] < s.Latencies[j] })
+	return s
+}
+
+// CoverageNonMasked is the detected fraction of non-masked injected
+// failures (1 when there were none).
+func (s DetectionStats) CoverageNonMasked() float64 {
+	if s.NonMasked == 0 {
+		return 1
+	}
+	return float64(s.DetectedNonMasked) / float64(s.NonMasked)
+}
+
+// Quantile returns the q-th latency quantile (0 when nothing was detected).
+func (s DetectionStats) Quantile(q float64) sim.Duration {
+	if len(s.Latencies) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(s.Latencies)-1))
+	return s.Latencies[i]
+}
+
+// formatDetection renders a trial's detection cell.
+func formatDetection(t ResilienceTrial) string {
+	switch {
+	case t.InjectedAt < 0:
+		return "-"
+	case !t.Detected:
+		return "miss"
+	default:
+		return fmt.Sprintf("%.1fms:%s", t.DetectLatency.Seconds()*1000, t.DetectSource)
+	}
+}
+
+// FormatDetectionCDF renders the full detection-latency CDF, one step per
+// detected trial.
+func FormatDetectionCDF(s DetectionStats) string {
+	var b strings.Builder
+	for i, lat := range s.Latencies {
+		fmt.Fprintf(&b, "  cdf    %7.1f ms  p=%.2f\n",
+			lat.Seconds()*1000, float64(i+1)/float64(len(s.Latencies)))
+	}
+	return b.String()
+}
+
+// FormatResilience renders both sweeps, their tallies, and the detection
+// axis the monitoring plane adds.
 func FormatResilience(r ResilienceResult) string {
 	var b strings.Builder
 	render := func(title string, trials []ResilienceTrial) {
 		fmt.Fprintf(&b, "%s\n", title)
 		for _, t := range trials {
-			fmt.Fprintf(&b, "  trial %2d  %-14s %-15s del=%d/%d retx=%d gaveup=%d resets=%d inj=%d (%s, %.1f ms)\n",
+			fmt.Fprintf(&b, "  trial %2d  %-14s %-15s del=%d/%d retx=%d gaveup=%d resets=%d inj=%d det=%s (%s, %.1f ms)\n",
 				t.ID, t.Family, t.Outcome, t.Delivered, t.Sent,
 				t.Retransmits, t.GaveUp, t.RecoveryEvents, t.Injections,
-				t.Quiesce, t.Elapsed.Seconds()*1000)
+				formatDetection(t), t.Quiesce, t.Elapsed.Seconds()*1000)
 		}
 		counts := CountOutcomes(trials)
 		fmt.Fprintf(&b, "  tally:")
@@ -394,6 +589,13 @@ func FormatResilience(r ResilienceResult) string {
 			}
 		}
 		fmt.Fprintf(&b, "\n")
+		det := ComputeDetection(trials)
+		fmt.Fprintf(&b, "  detect: %d/%d non-masked (%.0f%%), %d/%d overall, p50=%.1fms p90=%.1fms max=%.1fms\n",
+			det.DetectedNonMasked, det.NonMasked, 100*det.CoverageNonMasked(),
+			det.Detected, det.Injected,
+			det.Quantile(0.5).Seconds()*1000, det.Quantile(0.9).Seconds()*1000,
+			det.Quantile(1).Seconds()*1000)
+		b.WriteString(FormatDetectionCDF(det))
 	}
 	render("recovery enabled:", r.Trials)
 	render("recovery disabled (paper hardware):", r.Baseline)

@@ -169,6 +169,11 @@ type Engine struct {
 	dropped    uint64
 	resetsSeen uint64
 
+	// onInject, when set, fires once per injection event alongside the
+	// capture trigger; campaigns use it to timestamp the first fault on
+	// the wire. Nil on the pass-through path, so it costs nothing there.
+	onInject func()
+
 	capture *CaptureRing
 
 	// Reusable output scratch. Process and Flush keep separate buffers so
@@ -252,6 +257,10 @@ func (e *Engine) Capture() *CaptureRing { return e.capture }
 func (e *Engine) Stats() (chars, matches, injections uint64) {
 	return e.chars, e.matches, e.injections
 }
+
+// SetInjectionHook registers fn to run once per injection event (nil
+// removes it). Monitors use it to learn injection times without polling.
+func (e *Engine) SetInjectionHook(fn func()) { e.onInject = fn }
 
 // DroppedChars reports how many characters rule drop actions deleted from
 // the retransmitted stream.
@@ -419,6 +428,9 @@ func (e *Engine) evenCycle() {
 		return
 	}
 	e.injections++
+	if e.onInject != nil {
+		e.onInject()
+	}
 	for i := 0; i < WindowSize; i++ {
 		if e.window[i].pos < 0 {
 			continue // idle fill or already retransmitted: nothing to hit

@@ -234,5 +234,8 @@ func (e *Engine) applyRuleActions(fired uint64) {
 	if injected {
 		e.injections++
 		e.capture.MarkInjection()
+		if e.onInject != nil {
+			e.onInject()
+		}
 	}
 }

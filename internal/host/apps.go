@@ -212,3 +212,105 @@ func (r *CountingReceiver) Bytes() uint64 { return r.bytes }
 
 // Close releases the port.
 func (r *CountingReceiver) Close() { r.sock.Close() }
+
+// Heartbeat is the liveness beacon the monitoring plane's accrual failure
+// detectors calibrate against: small fixed-interval datagrams to one peer,
+// bounded by a horizon so that quiescence-based campaigns still drain. The
+// payload byte stays clear of every control-symbol code, preserving the
+// workload discipline fault campaigns rely on.
+type Heartbeat struct {
+	k        *sim.Kernel
+	node     *Node
+	dst      myrinet.MAC
+	srcPort  uint16
+	dstPort  uint16
+	interval sim.Duration
+	payload  []byte
+	until    sim.Time
+
+	sent    uint64
+	running bool
+}
+
+// HeartbeatConfig parameterizes a beacon.
+type HeartbeatConfig struct {
+	// Dst is the monitored peer's address.
+	Dst myrinet.MAC
+	// SrcPort and DstPort are the UDP ports (defaults 7100/7100).
+	SrcPort, DstPort uint16
+	// Interval is the beacon period. Zero selects 2 ms.
+	Interval sim.Duration
+	// Until, when nonzero, is the absolute simulation time past which no
+	// beacon is sent: the horizon that lets hang detectors see the event
+	// queue drain. Zero runs until Stop.
+	Until sim.Time
+	// Size is the payload length. Zero selects 8.
+	Size int
+}
+
+// HeartbeatPort is the conventional beacon port.
+const HeartbeatPort = 7100
+
+// NewHeartbeat builds a beacon on node.
+func NewHeartbeat(k *sim.Kernel, node *Node, cfg HeartbeatConfig) *Heartbeat {
+	if cfg.Interval == 0 {
+		cfg.Interval = 2 * sim.Millisecond
+	}
+	if cfg.Size == 0 {
+		cfg.Size = 8
+	}
+	if cfg.SrcPort == 0 {
+		cfg.SrcPort = HeartbeatPort
+	}
+	if cfg.DstPort == 0 {
+		cfg.DstPort = HeartbeatPort
+	}
+	payload := make([]byte, cfg.Size)
+	for i := range payload {
+		payload[i] = 0x48 // 'H', clear of all control codes
+	}
+	return &Heartbeat{
+		k:        k,
+		node:     node,
+		dst:      cfg.Dst,
+		srcPort:  cfg.SrcPort,
+		dstPort:  cfg.DstPort,
+		interval: cfg.Interval,
+		payload:  payload,
+		until:    cfg.Until,
+	}
+}
+
+// Start begins beaconing; the first beat goes out immediately.
+func (h *Heartbeat) Start() {
+	if h.running {
+		return
+	}
+	h.running = true
+	h.beat()
+}
+
+// Stop halts the beacon.
+func (h *Heartbeat) Stop() { h.running = false }
+
+// Sent reports beacons handed to the stack.
+func (h *Heartbeat) Sent() uint64 { return h.sent }
+
+func (h *Heartbeat) beat() {
+	if !h.running {
+		return
+	}
+	if h.until != 0 && h.k.Now() > h.until {
+		h.running = false
+		return
+	}
+	h.node.SendUDP(h.dst, h.srcPort, h.dstPort, h.payload)
+	h.sent++
+	if h.until != 0 && h.k.Now()+sim.Time(h.interval) > h.until {
+		h.running = false
+		return
+	}
+	h.k.AfterArg(h.interval, heartbeatBeat, h)
+}
+
+func heartbeatBeat(a any) { a.(*Heartbeat).beat() }

@@ -1,0 +1,95 @@
+package monitor
+
+import (
+	"testing"
+
+	"netfi/internal/sim"
+)
+
+func macOf(b byte) [6]byte { return [6]byte{0x06, 0x60, 0x8C, 0x40, 0x40, b} }
+
+func TestFlowAggregationAndIdleExport(t *testing.T) {
+	ring := NewExportRing(16)
+	tbl := NewFlowTable("sw0.p0", ring, 10*sim.Millisecond)
+	k1 := FlowKey{Src: macOf(1), Dst: macOf(2)}
+	k2 := FlowKey{Src: macOf(1), Dst: macOf(3)}
+
+	tbl.Observe(k1, 40, sim.Time(1*sim.Millisecond))
+	tbl.Observe(k2, 40, sim.Time(2*sim.Millisecond))
+	tbl.Observe(k1, 60, sim.Time(3*sim.Millisecond))
+	if tbl.Active() != 2 {
+		t.Fatalf("active flows = %d, want 2", tbl.Active())
+	}
+
+	// k1 last seen at 3 ms, k2 at 2 ms: at 12.5 ms only k2 has idled out.
+	if n := tbl.ExpireIdle(sim.Time(12500 * sim.Microsecond)); n != 1 {
+		t.Fatalf("ExpireIdle exported %d, want 1", n)
+	}
+	rec, ok := ring.Pop()
+	if !ok || rec.Key != k2 || rec.Cause != CauseIdle {
+		t.Fatalf("exported %+v, want idle record for %v", rec, k2)
+	}
+
+	// Flush the rest.
+	if n := tbl.FlushAll(); n != 1 {
+		t.Fatalf("FlushAll exported %d, want 1", n)
+	}
+	rec, _ = ring.Pop()
+	if rec.Key != k1 || rec.Cause != CauseShutdown {
+		t.Fatalf("flushed %+v, want shutdown record for %v", rec, k1)
+	}
+	if rec.Packets != 2 || rec.Bytes != 100 {
+		t.Fatalf("k1 record packets=%d bytes=%d, want 2/100", rec.Packets, rec.Bytes)
+	}
+	if rec.First != sim.Time(1*sim.Millisecond) || rec.Last != sim.Time(3*sim.Millisecond) {
+		t.Fatalf("k1 timestamps %v..%v, want 1ms..3ms", rec.First, rec.Last)
+	}
+}
+
+func TestFlowResetCause(t *testing.T) {
+	ring := NewExportRing(4)
+	tbl := NewFlowTable("tap", ring, 0)
+	tbl.Observe(FlowKey{Src: macOf(1), Dst: macOf(2)}, 30, 0)
+	if n := tbl.Reset(); n != 1 {
+		t.Fatalf("Reset exported %d, want 1", n)
+	}
+	rec, _ := ring.Pop()
+	if rec.Cause != CauseReset {
+		t.Fatalf("cause = %v, want reset", rec.Cause)
+	}
+}
+
+func TestExportRingBounded(t *testing.T) {
+	ring := NewExportRing(2)
+	for i := 0; i < 5; i++ {
+		ring.Push(FlowRecord{Key: FlowKey{Src: macOf(byte(i))}})
+	}
+	if ring.Len() != 2 || ring.Exported() != 2 || ring.Dropped() != 3 {
+		t.Fatalf("len=%d exported=%d dropped=%d, want 2/2/3",
+			ring.Len(), ring.Exported(), ring.Dropped())
+	}
+	recs := ring.Records()
+	if len(recs) != 2 || recs[0].Key.Src != macOf(0) || recs[1].Key.Src != macOf(1) {
+		t.Fatalf("Records() = %v, want oldest-first first two pushes", recs)
+	}
+}
+
+func TestFlowStatePooling(t *testing.T) {
+	ring := NewExportRing(64)
+	tbl := NewFlowTable("tap", ring, 5*sim.Millisecond)
+	key := FlowKey{Src: macOf(1), Dst: macOf(2)}
+	now := sim.Time(0)
+	// Warm: open and expire once so the free list holds a state.
+	tbl.Observe(key, 30, now)
+	now += sim.Time(10 * sim.Millisecond)
+	tbl.ExpireIdle(now)
+	allocs := testing.AllocsPerRun(100, func() {
+		now += sim.Time(sim.Millisecond)
+		tbl.Observe(key, 30, now)
+		now += sim.Time(10 * sim.Millisecond)
+		tbl.ExpireIdle(now)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state flow churn allocates %.1f/run, want 0", allocs)
+	}
+}

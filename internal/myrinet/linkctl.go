@@ -45,6 +45,9 @@ type LinkController struct {
 	recovery     RecoveryConfig
 	stopWatchdog *sim.Timer // continuous-STOP deadline
 	onReset      func()     // consumer callback: link reset, abort in-flight state
+
+	// Monitoring tap (nil unless a monitor attached one).
+	tap Tap
 }
 
 // txPacket is one queued packet: its encoded character stream (including the
@@ -421,6 +424,9 @@ func (lc *LinkController) receiveReset() {
 
 // Receive implements phy.Receiver: it classifies every incoming character.
 func (lc *LinkController) Receive(chars []phy.Character) {
+	if lc.tap != nil {
+		lc.tap.ObserveChars(lc.k.Now(), chars)
+	}
 	pushed := false
 	for _, c := range chars {
 		lc.ctr.CharsIn++

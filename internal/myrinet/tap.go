@@ -1,0 +1,45 @@
+package myrinet
+
+import (
+	"netfi/internal/phy"
+	"netfi/internal/sim"
+)
+
+// Tap observes the character stream arriving at a link controller, batch by
+// batch — the monitoring plane's passive observation point. Taps are
+// strictly opt-in: a controller with no tap pays a single nil check per
+// received burst, keeping the datapath's zero-allocation guarantees intact.
+//
+// The slice passed to ObserveChars is the controller's pooled receive
+// burst: the tap must not retain or mutate it — copy what it needs before
+// returning. Observation happens before classification, so a tap sees the
+// stream exactly as the hardware does, including flow-control symbols and
+// RESETs.
+type Tap interface {
+	ObserveChars(now sim.Time, chars []phy.Character)
+}
+
+// SetTap installs (or, with nil, removes) the controller's tap.
+func (lc *LinkController) SetTap(t Tap) { lc.tap = t }
+
+// Tap returns the controller's tap, nil when monitoring is off.
+func (lc *LinkController) Tap() Tap { return lc.tap }
+
+// SetPortTap installs a tap on switch port p's input stream: everything the
+// attached device transmits into the switch. Panics if nothing is attached
+// at p.
+func (sw *Switch) SetPortTap(p int, t Tap) {
+	if !sw.Attached(p) {
+		panic("myrinet: SetPortTap on unattached port")
+	}
+	sw.ports[p].lc.SetTap(t)
+}
+
+// SetTap installs a tap on the interface's input stream: everything
+// arriving at this host from the network. The interface must be attached.
+func (ifc *Interface) SetTap(t Tap) {
+	if ifc.lc == nil {
+		panic("myrinet: SetTap before AttachLink")
+	}
+	ifc.lc.SetTap(t)
+}

@@ -1,0 +1,82 @@
+package sim
+
+import "testing"
+
+func TestTickerPeriodicFire(t *testing.T) {
+	k := NewKernel(1)
+	var fired []Time
+	tk := NewTicker(k, Millisecond, func() { fired = append(fired, k.Now()) })
+	tk.Start()
+	k.RunUntil(Time(5*Millisecond + Microsecond))
+	if len(fired) != 5 {
+		t.Fatalf("fired %d times, want 5", len(fired))
+	}
+	for i, at := range fired {
+		want := Time(i+1) * Time(Millisecond)
+		if at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+	if tk.Ticks() != 5 {
+		t.Fatalf("Ticks() = %d, want 5", tk.Ticks())
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	var tk *Ticker
+	tk = NewTicker(k, Millisecond, func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	tk.Start()
+	k.Run()
+	if n != 3 {
+		t.Fatalf("fired %d times, want 3 (stopped from callback)", n)
+	}
+	if tk.Armed() || tk.Running() {
+		t.Fatal("ticker still armed/running after Stop")
+	}
+}
+
+func TestTickerStopHorizonDrains(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	tk := NewTicker(k, Millisecond, func() { n++ })
+	tk.SetStopAt(Time(4 * Millisecond))
+	tk.Start()
+	// Run() terminates only if the ticker parks itself at the horizon.
+	k.Run()
+	if n != 4 {
+		t.Fatalf("fired %d times, want 4 (ticks at 1..4 ms)", n)
+	}
+	if tk.Armed() {
+		t.Fatal("ticker armed past its horizon")
+	}
+	if !tk.Running() {
+		t.Fatal("parked ticker should still report Running")
+	}
+	// Moving the horizon out and re-starting resumes ticking.
+	tk.SetStopAt(Time(6 * Millisecond))
+	tk.Start()
+	k.Run()
+	if n != 6 {
+		t.Fatalf("fired %d times after horizon move, want 6", n)
+	}
+}
+
+func TestTickerZeroAllocSteadyState(t *testing.T) {
+	k := NewKernel(1)
+	tk := NewTicker(k, Microsecond, func() {})
+	tk.Start()
+	k.RunFor(10 * Microsecond) // warm the wheel
+	allocs := testing.AllocsPerRun(100, func() {
+		k.RunFor(10 * Microsecond)
+	})
+	if allocs > 0 {
+		t.Fatalf("ticker steady state allocates %.1f/run, want 0", allocs)
+	}
+}

@@ -21,10 +21,10 @@ out="BENCH_${date}.json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-echo "== go test -bench (kernel + datapath + campaign throughput)"
+echo "== go test -bench (kernel + datapath + campaign + monitor throughput)"
 # shellcheck disable=SC2086  # benchtime is intentionally word-split
 go test -run '^$' \
-    -bench '^(BenchmarkKernel|BenchmarkCampaignThroughput|BenchmarkKernelEventThroughput|BenchmarkFIFOInjectorPassThrough|BenchmarkFIFOInjectorPerSymbol|BenchmarkFIFOInjectorArmed)$' \
+    -bench '^(BenchmarkKernel|BenchmarkCampaignThroughput|BenchmarkKernelEventThroughput|BenchmarkFIFOInjectorPassThrough|BenchmarkFIFOInjectorPerSymbol|BenchmarkFIFOInjectorArmed|BenchmarkMonitorTap|BenchmarkMonitorFlowExport)$' \
     -benchmem $benchtime . | tee "$raw"
 
 if [ -f "$out" ]; then
