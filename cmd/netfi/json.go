@@ -52,6 +52,39 @@ type jsonResilience struct {
 	RecoveryOff jsonSweep `json:"recovery_off"`
 }
 
+type jsonChaosTrial struct {
+	ID             int     `json:"id"`
+	Plan           string  `json:"plan"`
+	K              int     `json:"k"`
+	Outcome        string  `json:"outcome"`
+	Quiesce        string  `json:"quiesce,omitempty"`
+	ElapsedMs      float64 `json:"elapsed_ms"`
+	Sent           int     `json:"sent"`
+	Delivered      uint64  `json:"delivered"`
+	Retransmits    uint64  `json:"retransmits"`
+	GaveUp         uint64  `json:"gave_up"`
+	RecoveryEvents uint64  `json:"recovery_events"`
+	Injections     uint64  `json:"injections"`
+	HeldOutputs    int     `json:"held_outputs"`
+	InjectedAtMs   float64 `json:"injected_at_ms"` // -1: no fault became observable
+	Detected       bool    `json:"detected"`
+	DetectLatMs    float64 `json:"detect_latency_ms"` // -1: undetected
+	DetectSource   string  `json:"detect_source,omitempty"`
+	FlowsExported  uint64  `json:"flows_exported"`
+	Error          string  `json:"error,omitempty"`
+}
+
+type jsonChaos struct {
+	Section   string                    `json:"section"`
+	Seed      int64                     `json:"seed"`
+	Forks     int                       `json:"forks"`
+	MaxK      int                       `json:"max_k"`
+	Trials    []jsonChaosTrial          `json:"trials"`
+	Tally     map[string]int            `json:"tally"`
+	PerK      map[string]map[string]int `json:"per_k"`
+	Detection jsonDetection             `json:"detection"`
+}
+
 type jsonEvent struct {
 	TimeMs float64 `json:"time_ms"`
 	Kind   string  `json:"kind"`
@@ -128,6 +161,46 @@ func viewSweep(trials []campaign.ResilienceTrial) jsonSweep {
 	return sw
 }
 
+func viewChaos(res campaign.ChaosResult) jsonChaos {
+	v := jsonChaos{
+		Section: "chaos", Seed: res.Seed, Forks: res.Forks, MaxK: res.MaxK,
+		Trials: []jsonChaosTrial{}, Tally: map[string]int{}, PerK: map[string]map[string]int{},
+	}
+	for _, t := range res.Trials {
+		jt := jsonChaosTrial{
+			ID: t.ID, Plan: t.Plan, K: t.K, Outcome: string(t.Outcome),
+			Quiesce: t.Quiesce, ElapsedMs: ms(t.Elapsed),
+			Sent: t.Sent, Delivered: t.Delivered, Retransmits: t.Retransmits,
+			GaveUp: t.GaveUp, RecoveryEvents: t.RecoveryEvents,
+			Injections: t.Injections, HeldOutputs: t.HeldOutputs,
+			InjectedAtMs: ms(t.InjectedAt), Detected: t.Detected,
+			DetectLatMs: -1, DetectSource: t.DetectSource,
+			FlowsExported: t.FlowsExported, Error: t.Err,
+		}
+		if t.Detected {
+			jt.DetectLatMs = ms(t.DetectLatency)
+		}
+		v.Trials = append(v.Trials, jt)
+		v.Tally[string(t.Outcome)]++
+		k := fmt.Sprintf("%d", t.K)
+		if v.PerK[k] == nil {
+			v.PerK[k] = map[string]int{}
+		}
+		v.PerK[k][string(t.Outcome)]++
+	}
+	det := campaign.ComputeChaosDetection(res.Trials)
+	v.Detection = jsonDetection{
+		Injected: det.Injected, NonMasked: det.NonMasked,
+		Detected: det.Detected, DetectedNonMasked: det.DetectedNonMasked,
+		Coverage:     det.CoverageNonMasked(),
+		LatencyCDFMs: []float64{},
+	}
+	for _, l := range det.Latencies {
+		v.Detection.LatencyCDFMs = append(v.Detection.LatencyCDFMs, ms(l))
+	}
+	return v
+}
+
 func viewEvents(events []monitor.Event) []jsonEvent {
 	out := []jsonEvent{}
 	for _, e := range events {
@@ -181,8 +254,10 @@ func jsonReport(name string, o expOpts) (string, error) {
 			FlowsExported: res.FlowsExported, FlowsDropped: res.FlowsDropped,
 			Flows: viewFlows(res.Flows), Taps: res.Taps,
 		}
+	case "chaos":
+		v = viewChaos(campaign.RunChaos(chaosOptions(o)))
 	default:
-		return "", fmt.Errorf("-json supports resilience and monitor, not %q", name)
+		return "", fmt.Errorf("-json supports resilience, monitor, and chaos, not %q", name)
 	}
 	out, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {

@@ -12,12 +12,14 @@
 //	netfi multirule    multi-target corruption via the rule engine
 //	netfi resilience   failure-recovery campaign with outcome triage
 //	netfi monitor      monitoring plane: accrual detection + flow export
+//	netfi chaos        snapshot/fork chaos sweep: warm one testbed, fork it
+//	                   per k-failure scenario, triage every fork
 //	netfi all          everything above in order
 //
 // Flags:
 //
 //	-seed N        simulation seed (default 1)
-//	-json          machine-readable output (resilience and monitor only):
+//	-json          machine-readable output (resilience, monitor, chaos):
 //	               detection-latency CDFs, per-trial triage, flow summaries
 //	-scale F       scale experiment durations/rounds toward the paper's full
 //	               lengths (default 1.0; e.g. -scale 12 runs Table 2 with
@@ -58,14 +60,14 @@ func run(args []string) int {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	scale := fs.Float64("scale", 1.0, "scale experiment length toward the paper's full runs")
 	workers := fs.Int("workers", campaign.DefaultWorkers(), "worker goroutines for campaign trials (1 = serial)")
-	jsonOut := fs.Bool("json", false, "machine-readable output (resilience and monitor only)")
+	jsonOut := fs.Bool("json", false, "machine-readable output (resilience, monitor, chaos)")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := fs.String("memprofile", "", "write heap profile to file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: netfi [-seed N] [-scale F] [-workers N] [-json] [-cpuprofile F] [-memprofile F] <table1|table2|table4|sec431|sec432|sec433|sec434|passthrough|multirule|resilience|monitor|all>")
+		fmt.Fprintln(os.Stderr, "usage: netfi [-seed N] [-scale F] [-workers N] [-json] [-cpuprofile F] [-memprofile F] <table1|table2|table4|sec431|sec432|sec433|sec434|passthrough|multirule|resilience|monitor|chaos|all>")
 		return 2
 	}
 
@@ -110,6 +112,7 @@ func run(args []string) int {
 		"multirule":   multirule,
 		"resilience":  resilience,
 		"monitor":     monitorSection,
+		"chaos":       chaosSection,
 	}
 	name := fs.Arg(0)
 	if *jsonOut {
@@ -122,7 +125,7 @@ func run(args []string) int {
 		return 0
 	}
 	if name == "all" {
-		order := []string{"table1", "table2", "table4", "sec431", "sec432", "sec433", "sec434", "passthrough", "multirule", "resilience", "monitor"}
+		order := []string{"table1", "table2", "table4", "sec431", "sec432", "sec433", "sec434", "passthrough", "multirule", "resilience", "monitor", "chaos"}
 		// Sections are independent simulations, so `all` fans the sections
 		// themselves out over the pool. The inner campaigns then run their
 		// trials serially (workers=1) to avoid oversubscribing the CPUs;
@@ -219,6 +222,23 @@ func resilience(o expOpts) string {
 	})
 	return "Resilience campaign: randomized injections, recovery on vs off (same seeds)\n" +
 		campaign.FormatResilience(res)
+}
+
+// chaosOptions derives the sweep shape from the shared knobs: 1000 forks
+// at scale 1 (the k <= 2 combination sweep), cut from one warmed base.
+func chaosOptions(o expOpts) campaign.ChaosOptions {
+	return campaign.ChaosOptions{
+		Seed:    o.seed,
+		Forks:   int(1000 * o.scale),
+		MaxK:    2,
+		Workers: o.workers,
+	}
+}
+
+func chaosSection(o expOpts) string {
+	res := campaign.RunChaos(chaosOptions(o))
+	return "Chaos sweep: warm-once testbed forked per k-failure scenario\n" +
+		campaign.FormatChaos(res)
 }
 
 func monitorSection(o expOpts) string {

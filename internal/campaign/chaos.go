@@ -1,0 +1,736 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"netfi/internal/core"
+	"netfi/internal/host"
+	"netfi/internal/monitor"
+	"netfi/internal/myrinet"
+	"netfi/internal/sim"
+)
+
+// The chaos engine: warm one testbed, fork it per failure scenario. A fork
+// deep-copies the entire simulation world (kernel, network, hosts,
+// injector, console, monitoring plane) through sim.Mapper, so thousands of
+// divergent scenarios pay for warmup exactly once. Scenarios are
+// declarative ForkPlans — k faults with individual onset delays — generated
+// up front from the campaign seed, applied to the fork by scheduling
+// ordinary simulation events, and triaged with the monitoring plane the
+// same way resilience trials are. Correctness rests on fork equivalence:
+// running a plan on a fork must be byte-identical to running it on a
+// freshly built, identically warmed testbed (TestForkEquivalence pins it).
+
+// FaultKind names one chaos fault primitive.
+type FaultKind string
+
+const (
+	// FaultNodeDeath kills a workstation and severs its cable: the host
+	// goes silent mid-conversation, the way a crashed OS with a powered
+	// NIC does not.
+	FaultNodeDeath FaultKind = "node-death"
+	// FaultLinkSever cuts a node's cable both ways; the host keeps
+	// transmitting into the void.
+	FaultLinkSever FaultKind = "link-sever"
+	// FaultCorrupt arms an injection rule over the serial console — the
+	// paper's fault families (GAP drops, phantom STOPs, route and CRC
+	// corruption) drawn at random.
+	FaultCorrupt FaultKind = "corrupt"
+	// FaultWatchdogOff disables the switch's recovery watchdogs: latent
+	// on its own, it turns an otherwise recoverable wedge into the
+	// paper's forever-held output when combined with a second fault.
+	FaultWatchdogOff FaultKind = "watchdog-off"
+)
+
+// Fault is one declarative failure: what, where, when.
+type Fault struct {
+	Kind FaultKind
+	// Node is the target node index (node-death, link-sever).
+	Node int
+	// Rule is the RULE ADD console line (corrupt only).
+	Rule string
+	// Family names the corrupt rule's fault family (reporting only).
+	Family string
+	// Delay is the onset, relative to trial start.
+	Delay sim.Duration
+}
+
+// String renders "kind(target)@delay".
+func (f Fault) String() string {
+	target := ""
+	switch f.Kind {
+	case FaultNodeDeath, FaultLinkSever:
+		target = fmt.Sprintf("node%d", f.Node)
+	case FaultCorrupt:
+		target = f.Family
+	case FaultWatchdogOff:
+		target = "sw0"
+	}
+	return fmt.Sprintf("%s(%s)@%.1fms", f.Kind, target, f.Delay.Seconds()*1000)
+}
+
+// ForkPlan is one fork's failure scenario: k faults composed on one world.
+type ForkPlan struct {
+	ID     int
+	Faults []Fault
+}
+
+// K reports the combination order (fault count).
+func (p ForkPlan) K() int { return len(p.Faults) }
+
+// String joins the faults with " + ".
+func (p ForkPlan) String() string {
+	parts := make([]string, len(p.Faults))
+	for i, f := range p.Faults {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, " + ")
+}
+
+// ChaosTrial is one fork's run and triage. The detection axis mirrors
+// ResilienceTrial: InjectedAt is the first fault's observable onset.
+type ChaosTrial struct {
+	ID      int
+	Plan    string
+	K       int
+	Outcome TrialOutcome
+	Quiesce string
+	Elapsed sim.Duration
+
+	Sent           int
+	Delivered      uint64
+	Retransmits    uint64
+	GaveUp         uint64
+	RecoveryEvents uint64
+	Injections     uint64
+	HeldOutputs    int
+
+	InjectedAt    sim.Duration // first fault onset; -1 when none landed
+	Detected      bool
+	DetectLatency sim.Duration
+	DetectSource  string
+	FlowsExported uint64
+
+	// Err carries a panic surfaced by the worker pool's fault isolation;
+	// Outcome is OutcomeError and every other field is zero.
+	Err string
+
+	// Fingerprint is the full-world digest the fork-equivalence gate
+	// compares (counters, event log, flow records, kernel clock).
+	Fingerprint string
+}
+
+// Chaos-specific outcome classes beyond the resilience triage.
+const (
+	// OutcomeWallClock — the per-fork real-time escape hatch tripped;
+	// the result is timing-dependent and reported apart.
+	OutcomeWallClock TrialOutcome = "wallclock"
+	// OutcomeError — the trial panicked; see ChaosTrial.Err.
+	OutcomeError TrialOutcome = "error"
+)
+
+// ChaosOptions parameterizes a sweep.
+type ChaosOptions struct {
+	Seed int64
+	// Forks is the scenario count. Zero selects 64.
+	Forks int
+	// MaxK caps faults per fork; plans cycle k = 1..MaxK. Zero selects
+	// 2 (singles and pairs); 3 adds triples.
+	MaxK int
+	// Messages is the reliable workload size per fork. Zero selects 6.
+	Messages int
+	// Gap paces the messages. Zero selects 10 ms.
+	Gap sim.Duration
+	// Workers sizes the fork worker pool; <= 1 is serial.
+	Workers int
+	// WallClock, when nonzero, bounds each fork in real time — the
+	// escape hatch that keeps one livelocked fork from wedging a sweep.
+	WallClock time.Duration
+	// Rebuild runs every plan on a freshly built testbed instead of a
+	// fork — the warm-path control the benchmark and the equivalence
+	// gate compare against.
+	Rebuild bool
+}
+
+func (o *ChaosOptions) fillDefaults() {
+	if o.Forks == 0 {
+		o.Forks = 64
+	}
+	if o.MaxK == 0 {
+		o.MaxK = 2
+	}
+	if o.MaxK > 3 {
+		o.MaxK = 3
+	}
+	if o.Messages < 3 {
+		o.Messages = 6
+	}
+	if o.Gap == 0 {
+		o.Gap = 10 * sim.Millisecond
+	}
+}
+
+// chaosNodes is the testbed size (the paper's Fig. 10 bed).
+const chaosNodes = 3
+
+// chaosWarm is the shared warmup: long enough for the accrual detectors to
+// calibrate on a full inter-arrival window (75 heartbeat samples at 2 ms),
+// RTT estimators to converge, flow caches to populate, and the warm
+// traffic's acks to drain, so the fork point has no closure-form events
+// pending. A sweep pays this once; every fork inherits the history free —
+// which is the engine's entire advantage over rebuilding per scenario.
+const chaosWarm = 150 * sim.Millisecond
+
+// GenerateForkPlans derives the sweep's scenarios from the seed alone:
+// plan i carries k = 1 + i mod MaxK faults, each with kind, target, and
+// onset drawn from one serial RNG, so a sweep is reproducible from
+// (Seed, Forks, MaxK) and any plan can be rerun in isolation.
+func GenerateForkPlans(opts ChaosOptions) []ForkPlan {
+	opts.fillDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	span := sim.Duration(opts.Messages-1) * opts.Gap
+	kinds := []FaultKind{FaultCorrupt, FaultNodeDeath, FaultLinkSever, FaultCorrupt, FaultWatchdogOff}
+	plans := make([]ForkPlan, opts.Forks)
+	for i := range plans {
+		k := 1 + i%opts.MaxK
+		faults := make([]Fault, k)
+		for j := range faults {
+			f := Fault{
+				Kind:  kinds[rng.Intn(len(kinds))],
+				Delay: sim.Duration(rng.Int63n(int64(span))),
+			}
+			switch f.Kind {
+			case FaultNodeDeath, FaultLinkSever:
+				f.Node = rng.Intn(chaosNodes)
+			case FaultCorrupt:
+				fam := faultFamilies[rng.Intn(len(faultFamilies))]
+				f.Family = fam.name
+				f.Rule = fam.build(rng, chaosNodes).cmd
+			}
+			faults[j] = f
+		}
+		plans[i] = ForkPlan{ID: i, Faults: faults}
+	}
+	return plans
+}
+
+// chaosBase is the warmed world forks are cut from. After newChaosBase the
+// kernel is paused at the fork point with only trampoline-form events
+// pending, so Clone never trips the closure-discipline check.
+type chaosBase struct {
+	tb    *Testbed
+	mon   *monitor.Plane
+	rels  []*host.Reliable
+	hbs   []*host.Heartbeat
+	start sim.Time // fork point == trial start
+}
+
+// newChaosBase builds and warms one testbed: recovery armed, injector
+// direction configured, reliable endpoints on every node, flow-export taps
+// on every attached switch port, accrual detectors fed by heartbeats
+// between the untapped nodes, and a little primed traffic so RTT
+// estimators, flow caches, and detector windows all carry history into
+// every fork.
+func newChaosBase(seed int64, opts ChaosOptions) *chaosBase {
+	opts.fillDefaults()
+	tb := NewTestbed(TestbedConfig{
+		Seed: seed,
+		Recovery: myrinet.RecoveryConfig{
+			Enabled:        true,
+			BlockedTimeout: 15 * sim.Millisecond,
+			StopWatchdog:   25 * sim.Millisecond,
+		},
+	})
+	tb.Configure("DIR L")
+
+	rels := make([]*host.Reliable, len(tb.Nodes))
+	for i, n := range tb.Nodes {
+		r, err := host.NewReliable(n, resiliencePort, host.ReliableConfig{
+			InitialRTO: 40 * sim.Millisecond,
+			MaxRTO:     80 * sim.Millisecond,
+			MaxRetries: 5,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rels[i] = r
+	}
+
+	span := sim.Duration(opts.Messages-1) * opts.Gap
+	horizon := tb.K.Now() + sim.Time(chaosWarm+span+opts.Gap+80*sim.Millisecond)
+
+	mon := monitor.NewPlane(tb.K, monitor.Config{
+		SampleInterval: sim.Millisecond,
+		FlowIdle:       25 * sim.Millisecond,
+	})
+	for p := 0; p < tb.Switch.Ports(); p++ {
+		if tb.Switch.Attached(p) {
+			mon.TapSwitchPort(tb.Switch, p, monitor.TapOptions{Flows: true})
+		}
+	}
+	var beat []int
+	for i := range tb.Nodes {
+		if i != 0 && len(beat) < 2 {
+			beat = append(beat, i)
+		}
+	}
+	var hbs []*host.Heartbeat
+	if len(beat) == 2 {
+		a, b := beat[0], beat[1]
+		for _, i := range beat {
+			mon.TapInterface(tb.Nodes[i].Interface(), monitor.TapOptions{Detect: true})
+			if _, err := tb.Nodes[i].Bind(host.HeartbeatPort, nil); err != nil {
+				panic(err)
+			}
+		}
+		ha := host.NewHeartbeat(tb.K, tb.Nodes[a], host.HeartbeatConfig{Dst: NodeMAC(b), Until: horizon})
+		hb := host.NewHeartbeat(tb.K, tb.Nodes[b], host.HeartbeatConfig{Dst: NodeMAC(a), Until: horizon})
+		ha.Start()
+		hb.Start()
+		hbs = append(hbs, ha, hb)
+	}
+	mon.SetStopAt(horizon)
+	mon.Start()
+
+	// Warm traffic: one message from the tapped node to each peer, fully
+	// drained, so every fork starts with calibrated RTTs and warm caches.
+	payload := chaosPayload()
+	for i := 1; i < len(tb.Nodes); i++ {
+		rels[0].Send(NodeMAC(i), payload)
+	}
+	tb.K.RunFor(chaosWarm)
+
+	return &chaosBase{tb: tb, mon: mon, rels: rels, hbs: hbs, start: tb.K.Now()}
+}
+
+// fork deep-copies the base into an independent world: phase 1 clones the
+// kernel, phase 2 walks the model graph, phase 3 resolves every deferred
+// cross-reference. Campaign-owned hooks (probes, injection hooks) are not
+// part of any world and are re-armed by runChaosTrial.
+func (b *chaosBase) fork() (*chaosBase, error) {
+	m := sim.NewMapper()
+	b.tb.K.Clone(m)
+	tb2 := b.tb.Clone(m)
+	mon2 := b.mon.Clone(m)
+	rels2 := make([]*host.Reliable, len(b.rels))
+	for i, r := range b.rels {
+		rels2[i] = r.Clone(m)
+	}
+	hbs2 := make([]*host.Heartbeat, len(b.hbs))
+	for i, h := range b.hbs {
+		hbs2[i] = h.Clone(m)
+	}
+	if err := m.Finish(); err != nil {
+		return nil, err
+	}
+	return &chaosBase{tb: tb2, mon: mon2, rels: rels2, hbs: hbs2, start: b.start}, nil
+}
+
+func chaosPayload() []byte {
+	payload := make([]byte, resiliencePayloadLen)
+	for i := range payload {
+		payload[i] = resiliencePayloadFill
+	}
+	return payload
+}
+
+// runChaosTrial applies one plan to a ready world (a fork, or a freshly
+// warmed base — the equivalence gate demands the two be indistinguishable)
+// and triages the outcome. Probes and injection hooks are armed here, on
+// whichever world runs, so both paths arm them exactly once.
+func runChaosTrial(b *chaosBase, plan ForkPlan, opts ChaosOptions) ChaosTrial {
+	opts.fillDefaults()
+	tb, mon, rel := b.tb, b.mon, b.rels[0]
+	tr := ChaosTrial{
+		ID:         plan.ID,
+		Plan:       plan.String(),
+		K:          plan.K(),
+		Sent:       opts.Messages,
+		InjectedAt: -1,
+	}
+
+	mon.AddLossProbe("net.drops", func() uint64 {
+		var n uint64
+		for p := 0; p < tb.Switch.Ports(); p++ {
+			n += tb.Switch.PortCounters(p).TotalDrops()
+		}
+		for _, nd := range tb.Nodes {
+			n += nd.Interface().Counters().TotalDrops()
+		}
+		return n
+	})
+	mon.AddCounterProbe("net.recovery", "recovery", func() uint64 {
+		return recoveryEventCount(tb)
+	})
+	mon.AddWedgeProbe("sw0.held", func() int { return tb.Switch.HeldOutputs() })
+
+	// First observable fault onset: node deaths and severs mark at their
+	// scheduled instant, corrupt rules when the injector actually fires.
+	var faultAt sim.Time
+	faultSeen := false
+	mark := func() {
+		if !faultSeen {
+			faultSeen = true
+			faultAt = tb.K.Now()
+		}
+	}
+	tb.Injector.Engine(DirOutbound).SetInjectionHook(mark)
+	tb.Injector.Engine(DirInbound).SetInjectionHook(mark)
+
+	// Baselines: forks inherit the warm phase's counters.
+	rel0 := rel.Stats()
+	recovery0 := recoveryEventCount(tb)
+	flows0 := mon.Ring().Exported()
+	injections0 := tb.Injections()
+
+	for _, f := range plan.Faults {
+		f := f
+		switch f.Kind {
+		case FaultNodeDeath:
+			node := tb.Nodes[f.Node]
+			cable := tb.Net.Cables[node.Name()]
+			tb.K.After(f.Delay, func() {
+				node.Kill()
+				cable.Sever()
+				mark()
+			})
+		case FaultLinkSever:
+			cable := tb.Net.Cables[tb.Nodes[f.Node].Name()]
+			tb.K.After(f.Delay, func() {
+				cable.Sever()
+				mark()
+			})
+		case FaultWatchdogOff:
+			tb.K.After(f.Delay, func() {
+				tb.Switch.SetRecovery(myrinet.RecoveryConfig{})
+			})
+		case FaultCorrupt:
+			rule := f.Rule
+			tb.K.After(f.Delay, func() { tb.Console.Send(rule) })
+		}
+	}
+
+	payload := chaosPayload()
+	for i := 0; i < opts.Messages; i++ {
+		dst := NodeMAC(1 + i%(chaosNodes-1))
+		tb.K.After(sim.Duration(i)*opts.Gap, func() { rel.Send(dst, payload) })
+	}
+
+	res := tb.K.RunUntilQuiescent(sim.QuiesceConfig{
+		Progress: func() uint64 {
+			s := rel.Stats()
+			return s.Delivered + s.Retransmits + s.GaveUp + recoveryEventCount(tb)
+		},
+		StallAfter: 300 * sim.Millisecond,
+		Deadline:   3 * sim.Second,
+		WallClock:  opts.WallClock,
+	})
+	tr.Quiesce = res.Outcome()
+	tr.Elapsed = res.Elapsed
+	tr.RecoveryEvents = recoveryEventCount(tb) - recovery0
+	tr.HeldOutputs = tb.Switch.HeldOutputs()
+	tr.Injections = tb.Injections() - injections0
+
+	mon.Stop()
+	tr.FlowsExported = mon.Ring().Exported() - flows0
+
+	s := rel.Stats()
+	accepted := s.Sent - rel0.Sent
+	tr.Delivered = s.Delivered - rel0.Delivered
+	tr.Retransmits = s.Retransmits - rel0.Retransmits
+	tr.GaveUp = s.GaveUp - rel0.GaveUp
+	switch {
+	case res.WallClockHit:
+		tr.Outcome = OutcomeWallClock
+	case rel.Outstanding() > 0 || tr.Delivered+tr.GaveUp < accepted:
+		// Accepted traffic neither delivered nor abandoned: a wedge.
+		tr.Outcome = OutcomeHung
+	case tr.HeldOutputs > 0:
+		// Drained, but a switch output is still owned — §4.3.1's
+		// forever-held path (a disabled watchdog let it stand).
+		tr.Outcome = OutcomeHung
+	case tr.Delivered == uint64(tr.Sent):
+		switch {
+		case tr.RecoveryEvents > 0:
+			tr.Outcome = OutcomeResetRecovered
+		case tr.Retransmits > 0:
+			tr.Outcome = OutcomeRetransmitted
+		default:
+			tr.Outcome = OutcomeMasked
+		}
+	default:
+		// Messages lost for good: abandoned by the transport or never
+		// sent because their sender died.
+		tr.Outcome = OutcomeDegraded
+	}
+
+	if faultSeen {
+		tr.InjectedAt = sim.Duration(faultAt - b.start)
+		if e, found := mon.FirstEventAtOrAfter(faultAt); found {
+			tr.Detected = true
+			tr.DetectLatency = sim.Duration(e.Time - faultAt)
+			tr.DetectSource = e.Source + "/" + e.Detail
+		}
+	}
+	tr.Fingerprint = chaosFingerprint(tb, mon, b.rels)
+	return tr
+}
+
+// runForkChaosTrial cuts a fork from the warmed base and runs the plan on
+// it. The base is read-only during the clone, so forks cut concurrently.
+func runForkChaosTrial(base *chaosBase, plan ForkPlan, opts ChaosOptions) ChaosTrial {
+	fork, err := base.fork()
+	if err != nil {
+		panic(fmt.Sprintf("chaos: fork %d: %v", plan.ID, err))
+	}
+	return runChaosTrial(fork, plan, opts)
+}
+
+// runRebuiltChaosTrial is the control path: warm a fresh world from
+// scratch and run the same plan. Fork equivalence demands its result be
+// byte-identical to runForkChaosTrial's.
+func runRebuiltChaosTrial(seed int64, plan ForkPlan, opts ChaosOptions) ChaosTrial {
+	return runChaosTrial(newChaosBase(seed, opts), plan, opts)
+}
+
+// ChaosResult is one sweep's full record.
+type ChaosResult struct {
+	Seed   int64
+	Forks  int
+	MaxK   int
+	Trials []ChaosTrial
+}
+
+// RunChaos warms one base testbed, forks it per generated plan across the
+// worker pool, and triages every fork. A panicking fork is isolated by
+// RunTrialsErr and reported as OutcomeError rather than killing the sweep.
+func RunChaos(opts ChaosOptions) ChaosResult {
+	opts.fillDefaults()
+	plans := GenerateForkPlans(opts)
+	var base *chaosBase
+	if !opts.Rebuild {
+		base = newChaosBase(opts.Seed, opts)
+	}
+	trials, errs := RunTrialsErr(len(plans), opts.Workers, func(i int) ChaosTrial {
+		if opts.Rebuild {
+			return runRebuiltChaosTrial(opts.Seed, plans[i], opts)
+		}
+		return runForkChaosTrial(base, plans[i], opts)
+	})
+	for i, err := range errs {
+		if err != nil {
+			trials[i] = ChaosTrial{
+				ID:         plans[i].ID,
+				Plan:       plans[i].String(),
+				K:          plans[i].K(),
+				Outcome:    OutcomeError,
+				InjectedAt: -1,
+				Err:        err.Error(),
+			}
+		}
+	}
+	return ChaosResult{Seed: opts.Seed, Forks: opts.Forks, MaxK: opts.MaxK, Trials: trials}
+}
+
+// CountChaosOutcomes tallies a sweep's triage.
+func CountChaosOutcomes(trials []ChaosTrial) map[TrialOutcome]int {
+	m := make(map[TrialOutcome]int)
+	for _, t := range trials {
+		m[t.Outcome]++
+	}
+	return m
+}
+
+// ComputeChaosDetection tallies the sweep's detection axis.
+func ComputeChaosDetection(trials []ChaosTrial) DetectionStats {
+	var s DetectionStats
+	for _, t := range trials {
+		if t.InjectedAt < 0 {
+			continue
+		}
+		s.Injected++
+		masked := t.Outcome == OutcomeMasked
+		if !masked {
+			s.NonMasked++
+		}
+		if t.Detected {
+			s.Detected++
+			if !masked {
+				s.DetectedNonMasked++
+			}
+			s.Latencies = append(s.Latencies, t.DetectLatency)
+		}
+	}
+	sort.Slice(s.Latencies, func(i, j int) bool { return s.Latencies[i] < s.Latencies[j] })
+	return s
+}
+
+// chaosOutcomeOrder fixes the tally rendering order.
+var chaosOutcomeOrder = []TrialOutcome{
+	OutcomeMasked, OutcomeRetransmitted, OutcomeResetRecovered,
+	OutcomeDegraded, OutcomeDropped, OutcomeHung, OutcomeWallClock, OutcomeError,
+}
+
+// chaosTrialLines caps the per-fork detail a sweep report prints; beyond
+// it only the aggregates follow (a 10k-fork sweep is not a line printer).
+const chaosTrialLines = 24
+
+// FormatChaos renders the sweep: per-fork lines (capped), per-class and
+// per-k tallies, and the detection-latency CDF in deciles.
+func FormatChaos(r ChaosResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos sweep: %d forks from one warmed base (k <= %d, seed %d)\n",
+		len(r.Trials), r.MaxK, r.Seed)
+	for i, t := range r.Trials {
+		if i == chaosTrialLines {
+			fmt.Fprintf(&b, "  ... %d more forks\n", len(r.Trials)-chaosTrialLines)
+			break
+		}
+		if t.Err != "" {
+			fmt.Fprintf(&b, "  fork %4d  k=%d %-15s %s\n", t.ID, t.K, t.Outcome, t.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "  fork %4d  k=%d %-15s del=%d/%d retx=%d gaveup=%d resets=%d inj=%d det=%s (%s, %.1f ms)  %s\n",
+			t.ID, t.K, t.Outcome, t.Delivered, t.Sent, t.Retransmits,
+			t.GaveUp, t.RecoveryEvents, t.Injections,
+			formatChaosDetection(t), t.Quiesce, t.Elapsed.Seconds()*1000, t.Plan)
+	}
+	counts := CountChaosOutcomes(r.Trials)
+	fmt.Fprintf(&b, "  tally:")
+	for _, o := range chaosOutcomeOrder {
+		if counts[o] > 0 {
+			fmt.Fprintf(&b, " %s=%d", o, counts[o])
+		}
+	}
+	fmt.Fprintf(&b, "\n")
+	perK := make(map[int]map[TrialOutcome]int)
+	for _, t := range r.Trials {
+		if perK[t.K] == nil {
+			perK[t.K] = make(map[TrialOutcome]int)
+		}
+		perK[t.K][t.Outcome]++
+	}
+	for k := 1; k <= r.MaxK; k++ {
+		if perK[k] == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "  k=%d:", k)
+		for _, o := range chaosOutcomeOrder {
+			if perK[k][o] > 0 {
+				fmt.Fprintf(&b, " %s=%d", o, perK[k][o])
+			}
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	det := ComputeChaosDetection(r.Trials)
+	fmt.Fprintf(&b, "  detect: %d/%d non-masked (%.0f%%), %d/%d overall\n",
+		det.DetectedNonMasked, det.NonMasked, 100*det.CoverageNonMasked(),
+		det.Detected, det.Injected)
+	if len(det.Latencies) > 0 {
+		for _, q := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+			fmt.Fprintf(&b, "  cdf    %7.1f ms  p=%.1f\n",
+				det.Quantile(q).Seconds()*1000, q)
+		}
+	}
+	return b.String()
+}
+
+func formatChaosDetection(t ChaosTrial) string {
+	switch {
+	case t.InjectedAt < 0:
+		return "-"
+	case !t.Detected:
+		return "miss"
+	default:
+		return fmt.Sprintf("%.1fms:%s", t.DetectLatency.Seconds()*1000, t.DetectSource)
+	}
+}
+
+// chaosFingerprint digests the world after a trial: kernel clock and event
+// count, every STAT counter on every port, interface, and engine, link
+// totals, transport statistics, and the monitoring plane's complete event
+// log, flow records, and tap totals. Two runs with equal fingerprints
+// executed the same events in the same order against the same state — the
+// byte-identity the fork-equivalence gate compares.
+func chaosFingerprint(tb *Testbed, mon *monitor.Plane, rels []*host.Reliable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel now=%d processed=%d\n", tb.K.Now(), tb.K.Processed())
+	for p := 0; p < tb.Switch.Ports(); p++ {
+		writeCounters(&b, fmt.Sprintf("sw0.p%d", p), tb.Switch.PortCounters(p))
+	}
+	fmt.Fprintf(&b, "sw0 held=%d\n", tb.Switch.HeldOutputs())
+	for _, n := range tb.Nodes {
+		writeCounters(&b, n.Name(), n.Interface().Counters())
+		fmt.Fprintf(&b, "%s stats=%+v dead=%v\n", n.Name(), n.Stats(), n.Dead())
+	}
+	if tb.Injector != nil {
+		for _, dir := range []struct {
+			name string
+			d    core.Direction
+		}{{"out", DirOutbound}, {"in", DirInbound}} {
+			e := tb.Injector.Engine(dir.d)
+			chars, matches, injections := e.Stats()
+			fmt.Fprintf(&b, "inj.%s chars=%d matches=%d injections=%d resets=%d\n",
+				dir.name, chars, matches, injections, e.ResetsSeen())
+		}
+	}
+	names := make([]string, 0, len(tb.Net.Cables))
+	for name := range tb.Net.Cables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := tb.Net.Cables[name]
+		for _, l := range []interface {
+			Name() string
+			Stats() (uint64, uint64)
+			SeveredChars() uint64
+		}{c.LeftToRight, c.RightToLeft} {
+			chars, bursts := l.Stats()
+			fmt.Fprintf(&b, "link %s chars=%d bursts=%d severed=%d\n",
+				l.Name(), chars, bursts, l.SeveredChars())
+		}
+	}
+	for i, r := range rels {
+		fmt.Fprintf(&b, "rel%d %+v outstanding=%d\n", i, r.Stats(), r.Outstanding())
+	}
+	fmt.Fprintf(&b, "mon ticks=%d overflow=%d exported=%d dropped=%d\n",
+		mon.Ticks(), mon.EventOverflow(), mon.Ring().Exported(), mon.Ring().Dropped())
+	for _, e := range mon.Events() {
+		fmt.Fprintf(&b, "event %v\n", e)
+	}
+	for _, rec := range mon.Ring().Records() {
+		fmt.Fprintf(&b, "flow %s %v pkts=%d bytes=%d %d..%d cause=%v\n",
+			rec.Tap, rec.Key, rec.Packets, rec.Bytes, rec.First, rec.Last, rec.Cause)
+	}
+	for _, t := range mon.Taps() {
+		bursts, chars, packets, control := t.Stats()
+		fmt.Fprintf(&b, "tap %s bursts=%d chars=%d data=%d other=%d\n",
+			t.Name(), bursts, chars, packets, control)
+	}
+	return b.String()
+}
+
+// writeCounters renders one counter block with the drop map in sorted
+// order (map iteration would make fingerprints incomparable).
+func writeCounters(b *strings.Builder, label string, c *myrinet.Counters) {
+	fmt.Fprintf(b, "%s sent=%d recv=%d fwd=%d in=%d out=%d stops=%d/%d gos=%d/%d sto=%d lto=%d ovf=%d lr=%d rr=%d wd=%d bt=%d fl=%d drops=",
+		label, c.PacketsSent, c.PacketsReceived, c.PacketsForwarded,
+		c.CharsIn, c.CharsOut, c.StopsSent, c.StopsReceived, c.GosSent,
+		c.GosReceived, c.ShortTimeouts, c.LongTimeouts, c.OverflowChars,
+		c.LinkResets, c.ResetsReceived, c.StopWatchdogFires,
+		c.BlockedTimeouts, c.FlushedChars)
+	reasons := make([]int, 0, len(c.Drops))
+	for r := range c.Drops {
+		reasons = append(reasons, int(r))
+	}
+	sort.Ints(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(b, "%d:%d,", r, c.Drops[myrinet.DropReason(r)])
+	}
+	b.WriteByte('\n')
+}

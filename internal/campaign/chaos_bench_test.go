@@ -1,0 +1,60 @@
+package campaign
+
+import (
+	"testing"
+
+	"netfi/internal/sim"
+)
+
+// BenchmarkChaosFork vs BenchmarkChaosRebuild is the chaos engine's reason
+// to exist: a fork deep-copies an already-warmed world, a rebuild
+// constructs and re-warms one from scratch. Both yield a world ready to run
+// the same fault plan, so forks/s against (rebuilt) trials/s is the
+// like-for-like measure of warm-once amortization; the PR's acceptance
+// floor is a 5x advantage. (The scenario simulation that follows costs the
+// same on either world — TestForkEquivalence proves it byte-identical — so
+// it is excluded from both loops.)
+
+func chaosBenchOptions() ChaosOptions {
+	return ChaosOptions{
+		Seed:     42,
+		MaxK:     2,
+		Messages: 4,
+		Gap:      5 * sim.Millisecond,
+	}
+}
+
+func BenchmarkChaosFork(b *testing.B) {
+	base := newChaosBase(42, chaosBenchOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := base.fork(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "forks/s")
+}
+
+func BenchmarkChaosRebuild(b *testing.B) {
+	opts := chaosBenchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		newChaosBase(42, opts)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+// BenchmarkChaosSweep measures the end-to-end fork-per-scenario pipeline —
+// plan generation, forking, fault scheduling, simulation, triage — in
+// forks per second at the CLI's default worker count.
+func BenchmarkChaosSweep(b *testing.B) {
+	opts := chaosBenchOptions()
+	opts.Forks = 16
+	opts.Workers = DefaultWorkers()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RunChaos(opts)
+	}
+	b.ReportMetric(float64(b.N*opts.Forks)/b.Elapsed().Seconds(), "forks/s")
+}

@@ -1,0 +1,198 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"netfi/internal/sim"
+)
+
+// chaosTestOptions keeps equivalence trials small: 4 messages at 5 ms
+// pacing bounds each trial's horizon while still leaving room for every
+// fault kind to land mid-conversation.
+func chaosTestOptions(seed int64, forks int) ChaosOptions {
+	return ChaosOptions{
+		Seed:     seed,
+		Forks:    forks,
+		MaxK:     3,
+		Messages: 4,
+		Gap:      5 * sim.Millisecond,
+	}
+}
+
+// TestForkEquivalence is the PR's gate: a trial run on a fork of the
+// warmed base must be byte-identical — same event order, same STAT
+// counters, same detection axis, same full-world fingerprint — to the
+// same plan run on a freshly built, identically warmed testbed. 30
+// seed × plan combinations, spanning k = 1..3 and every fault kind.
+func TestForkEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fork equivalence sweep is long")
+	}
+	combos := 0
+	for seed := int64(1); combos < 30; seed++ {
+		opts := chaosTestOptions(seed*7919, 3)
+		plans := GenerateForkPlans(opts)
+		base := newChaosBase(opts.Seed, opts)
+		for _, plan := range plans {
+			combos++
+			forked := runForkTrialForTest(t, base, plan, opts)
+			rebuilt := runRebuiltChaosTrial(opts.Seed, plan, opts)
+			if forked != rebuilt {
+				t.Errorf("seed %d plan %d (%s): fork and rebuild diverge",
+					opts.Seed, plan.ID, plan)
+				diffFingerprints(t, forked.Fingerprint, rebuilt.Fingerprint)
+				t.Errorf("fork:    %+v", stripFingerprint(forked))
+				t.Errorf("rebuild: %+v", stripFingerprint(rebuilt))
+				return
+			}
+		}
+	}
+}
+
+func runForkTrialForTest(t *testing.T, base *chaosBase, plan ForkPlan, opts ChaosOptions) ChaosTrial {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("fork trial %d (%s) panicked: %v", plan.ID, plan, r)
+		}
+	}()
+	return runForkChaosTrial(base, plan, opts)
+}
+
+func stripFingerprint(tr ChaosTrial) ChaosTrial {
+	tr.Fingerprint = ""
+	return tr
+}
+
+func diffFingerprints(t *testing.T, a, b string) {
+	t.Helper()
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	shown := 0
+	for i := 0; i < n && shown < 8; i++ {
+		if al[i] != bl[i] {
+			t.Errorf("fingerprint line %d:\n  fork:    %s\n  rebuild: %s", i, al[i], bl[i])
+			shown++
+		}
+	}
+	if len(al) != len(bl) {
+		t.Errorf("fingerprint length: fork %d lines, rebuild %d lines", len(al), len(bl))
+	}
+}
+
+// TestForkEquivalenceParallel forks the same base concurrently — the clone
+// path must be read-only on the source world (the race detector is the
+// real assertion here).
+func TestForkEquivalenceParallel(t *testing.T) {
+	opts := chaosTestOptions(4242, 8)
+	opts.Workers = 4
+	plans := GenerateForkPlans(opts)
+	base := newChaosBase(opts.Seed, opts)
+	serial := make([]ChaosTrial, len(plans))
+	for i, plan := range plans {
+		serial[i] = runForkChaosTrial(base, plan, opts)
+	}
+	parallel, errs := RunTrialsErr(len(plans), opts.Workers, func(i int) ChaosTrial {
+		return runForkChaosTrial(base, plans[i], opts)
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("parallel fork %d: %v", i, err)
+		}
+	}
+	for i := range plans {
+		if parallel[i] != serial[i] {
+			t.Errorf("fork %d: parallel result diverges from serial", i)
+		}
+	}
+}
+
+// TestGenerateForkPlans pins determinism and the k-cycle.
+func TestGenerateForkPlans(t *testing.T) {
+	opts := ChaosOptions{Seed: 99, Forks: 12, MaxK: 3}
+	a := GenerateForkPlans(opts)
+	b := GenerateForkPlans(opts)
+	if len(a) != 12 {
+		t.Fatalf("got %d plans, want 12", len(a))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Errorf("plan %d not deterministic: %q vs %q", i, a[i], b[i])
+		}
+		wantK := 1 + i%3
+		if a[i].K() != wantK {
+			t.Errorf("plan %d: k = %d, want %d", i, a[i].K(), wantK)
+		}
+		for _, f := range a[i].Faults {
+			if f.Kind == FaultCorrupt && f.Rule == "" {
+				t.Errorf("plan %d: corrupt fault without a rule", i)
+			}
+		}
+	}
+}
+
+// TestRunChaosSweep smokes the orchestrator end to end: every fork triaged,
+// no errors, report renders.
+func TestRunChaosSweep(t *testing.T) {
+	opts := chaosTestOptions(7, 12)
+	opts.Workers = 4
+	r := RunChaos(opts)
+	if len(r.Trials) != 12 {
+		t.Fatalf("got %d trials, want 12", len(r.Trials))
+	}
+	for _, tr := range r.Trials {
+		if tr.Err != "" {
+			t.Errorf("fork %d errored: %s", tr.ID, tr.Err)
+		}
+		if tr.Outcome == "" {
+			t.Errorf("fork %d: no outcome", tr.ID)
+		}
+		if tr.Fingerprint == "" {
+			t.Errorf("fork %d: no fingerprint", tr.ID)
+		}
+	}
+	out := FormatChaos(r)
+	for _, want := range []string{"chaos sweep", "tally:", "k=1:", "detect:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestChaosNodeDeathDegrades pins the headline scenario: kill a node
+// mid-conversation and the transport must abandon that traffic (degraded),
+// with the accrual detector noticing the silence.
+func TestChaosNodeDeathDegrades(t *testing.T) {
+	opts := chaosTestOptions(1, 1)
+	base := newChaosBase(opts.Seed, opts)
+	plan := ForkPlan{ID: 0, Faults: []Fault{
+		{Kind: FaultNodeDeath, Node: 1, Delay: 2 * sim.Millisecond},
+	}}
+	tr := runForkChaosTrial(base, plan, opts)
+	if tr.Outcome != OutcomeDegraded && tr.Outcome != OutcomeHung {
+		t.Errorf("node death outcome = %s, want degraded or hung (trial %+v)",
+			tr.Outcome, stripFingerprint(tr))
+	}
+	if !tr.Detected {
+		t.Errorf("node death went undetected (trial %+v)", stripFingerprint(tr))
+	}
+}
+
+// TestChaosCleanFork pins the control: a fork with no faults at all must
+// deliver everything without retransmission.
+func TestChaosCleanFork(t *testing.T) {
+	opts := chaosTestOptions(5, 1)
+	base := newChaosBase(opts.Seed, opts)
+	tr := runForkChaosTrial(base, ForkPlan{ID: 0}, opts)
+	if tr.Outcome != OutcomeMasked {
+		t.Errorf("clean fork outcome = %s, want masked (trial %+v)",
+			tr.Outcome, stripFingerprint(tr))
+	}
+	if tr.Delivered != uint64(tr.Sent) {
+		t.Errorf("clean fork delivered %d/%d", tr.Delivered, tr.Sent)
+	}
+}

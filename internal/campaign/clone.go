@@ -1,0 +1,79 @@
+package campaign
+
+import (
+	"fmt"
+
+	"netfi/internal/host"
+	"netfi/internal/myrinet"
+	"netfi/internal/sim"
+)
+
+// Fork support (see sim/clone.go). Testbed.Clone is the top of the model
+// graph's phase-2 pass: it forks the network container (switches,
+// interfaces, cables), the hosts, the spliced injector, and the serial
+// console, in an order the mapper's deferred pass makes irrelevant. The
+// caller owns phase 1 (sim.NewMapper + Kernel.Clone) and phase 3
+// (Mapper.Finish), because a campaign usually clones more than the testbed
+// — the monitoring plane, reliable endpoints, beacons — under one mapper.
+
+// Clone forks the testbed into the mapper's new world. The kernel must
+// already be cloned into m.
+func (tb *Testbed) Clone(m *sim.Mapper) *Testbed {
+	tb2 := &Testbed{K: m.Kernel(), cfg: tb.cfg}
+	m.Put(tb, tb2)
+	tb2.Net = tb.Net.Clone(m)
+	if v, ok := m.Lookup(tb.Switch); ok {
+		tb2.Switch = v.(*myrinet.Switch)
+	}
+	for _, n := range tb.Nodes {
+		tb2.Nodes = append(tb2.Nodes, n.Clone(m))
+	}
+	if tb.Injector != nil {
+		tb2.Injector = tb.Injector.Clone(m)
+		tb2.Console = tb.Console.Clone(m)
+	}
+	if tb.load != nil {
+		tb2.load = tb.load.clone(m, tb2)
+	}
+	return tb2
+}
+
+// Load returns the running workload, nil before StartLoad. A fork reaches
+// its own copy through this accessor.
+func (tb *Testbed) Load() *Load { return tb.load }
+
+// clone forks the workload: counters, burst schedule state (pending
+// loadTick events remap through the object table), and the per-node
+// receiver handlers rebound onto the fork's sockets.
+func (l *Load) clone(m *sim.Mapper, tb2 *Testbed) *Load {
+	l2 := &Load{
+		tb:              tb2,
+		burst:           l.burst,
+		period:          l.period,
+		size:            l.size,
+		running:         l.running,
+		seq:             l.seq,
+		sent:            l.sent,
+		received:        l.received,
+		corruptAccepted: l.corruptAccepted,
+		perNodeRecv:     append([]uint64(nil), l.perNodeRecv...),
+		socks:           make([]*host.Socket, len(l.socks)),
+	}
+	m.Put(l, l2)
+	for i, s := range l.socks {
+		i, s := i, s
+		m.Defer(func() error {
+			v, ok := m.Lookup(s)
+			if !ok {
+				return fmt.Errorf("campaign: fork: load receiver %d on uncloned socket", i)
+			}
+			s2 := v.(*host.Socket)
+			l2.socks[i] = s2
+			s2.SetHandler(func(_ myrinet.MAC, _ uint16, data []byte) {
+				l2.onReceive(i, data)
+			})
+			return nil
+		})
+	}
+	return l2
+}

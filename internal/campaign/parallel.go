@@ -24,52 +24,65 @@ import (
 // the pre-parallel behavior exactly. A panic in any trial is re-raised on
 // the calling goroutine once the pool has drained.
 func RunTrials[T any](n, workers int, fn func(trial int) T) []T {
+	out, errs := RunTrialsErr(n, workers, fn)
+	for _, err := range errs {
+		if err != nil {
+			panic(fmt.Sprintf("campaign: %v", err))
+		}
+	}
+	return out
+}
+
+// RunTrialsErr is RunTrials with per-trial fault isolation: a trial that
+// panics yields its zero value plus an error at its index, the worker that
+// ran it moves on to the next trial, and every other trial completes. Chaos
+// sweeps use this so one pathological fork out of thousands surfaces as a
+// triaged error instead of killing the campaign. The returned error slice
+// has one entry per trial (nil for trials that completed).
+func RunTrialsErr[T any](n, workers int, fn func(trial int) T) ([]T, []error) {
 	if n <= 0 {
-		return nil
+		return nil, nil
 	}
 	out := make([]T, n)
+	errs := make([]error, n)
+	// run executes one trial with the recover barrier inside the loop body,
+	// so a panic consumes only its own trial, never the worker.
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("trial %d panicked: %v", i, r)
+			}
+		}()
+		out[i] = fn(i)
+	}
 	if workers <= 1 || n == 1 {
-		for i := range out {
-			out[i] = fn(i)
+		for i := 0; i < n; i++ {
+			run(i)
 		}
-		return out
+		return out, errs
 	}
 	if workers > n {
 		workers = n
 	}
 	var (
-		next    atomic.Int64
-		wg      sync.WaitGroup
-		panicMu sync.Mutex
-		panicV  any
+		next atomic.Int64
+		wg   sync.WaitGroup
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicMu.Lock()
-					if panicV == nil {
-						panicV = r
-					}
-					panicMu.Unlock()
-				}
-			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i] = fn(i)
+				run(i)
 			}
 		}()
 	}
 	wg.Wait()
-	if panicV != nil {
-		panic(fmt.Sprintf("campaign: trial panicked: %v", panicV))
-	}
-	return out
+	return out, errs
 }
 
 // DefaultWorkers is the worker count campaigns use when none is specified:

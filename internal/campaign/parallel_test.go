@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"sync/atomic"
@@ -69,6 +70,46 @@ func TestRunTrialsPanicPropagates(t *testing.T) {
 				return i
 			})
 		}()
+	}
+}
+
+// TestRunTrialsErrIsolatesPanics is the chaos-sweep contract: a panicking
+// trial surfaces as an error at its own index while every other trial
+// completes — one pathological fork must never kill a campaign or take a
+// worker down with it.
+func TestRunTrialsErrIsolatesPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, errs := RunTrialsErr(8, workers, func(i int) int {
+			if i == 2 || i == 5 {
+				panic(fmt.Sprintf("boom %d", i))
+			}
+			return i * 10
+		})
+		if len(out) != 8 || len(errs) != 8 {
+			t.Fatalf("workers=%d: got %d results, %d errors, want 8 of each",
+				workers, len(out), len(errs))
+		}
+		for i := 0; i < 8; i++ {
+			if i == 2 || i == 5 {
+				if errs[i] == nil {
+					t.Errorf("workers=%d: trial %d panicked but has no error", workers, i)
+				} else if !strings.Contains(errs[i].Error(), fmt.Sprintf("boom %d", i)) {
+					t.Errorf("workers=%d: trial %d error %q does not mention the cause",
+						workers, i, errs[i])
+				}
+				if out[i] != 0 {
+					t.Errorf("workers=%d: panicked trial %d left result %d, want zero",
+						workers, i, out[i])
+				}
+				continue
+			}
+			if errs[i] != nil {
+				t.Errorf("workers=%d: healthy trial %d got error %v", workers, i, errs[i])
+			}
+			if out[i] != i*10 {
+				t.Errorf("workers=%d: trial %d = %d, want %d", workers, i, out[i], i*10)
+			}
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"netfi/internal/host"
 	"netfi/internal/myrinet"
 	"netfi/internal/sim"
 )
@@ -28,6 +29,8 @@ type Load struct {
 	received        uint64
 	corruptAccepted uint64
 	perNodeRecv     []uint64
+
+	socks []*host.Socket // per-node receivers, kept so a fork can rebind
 }
 
 const (
@@ -83,11 +86,13 @@ func (tb *Testbed) StartLoad(cfg LoadConfig) *Load {
 	}
 	for i, n := range tb.Nodes {
 		i := i
-		if _, err := n.Bind(loadDstPort, func(_ myrinet.MAC, _ uint16, data []byte) {
+		s, err := n.Bind(loadDstPort, func(_ myrinet.MAC, _ uint16, data []byte) {
 			l.onReceive(i, data)
-		}); err != nil {
+		})
+		if err != nil {
 			panic(err)
 		}
+		l.socks = append(l.socks, s)
 	}
 	l.running = true
 	tb.load = l

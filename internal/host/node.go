@@ -92,12 +92,20 @@ type Node struct {
 	sockets map[uint16]*Socket
 	stats   Stats
 
-	// Receive processor: one packet at a time, RecvOverhead each.
+	// Receive processor: one packet at a time, RecvOverhead each. While
+	// recvBusy, inRecv is the packet whose completion event is pending
+	// (kept on the node, not in a closure, so a fork can copy it).
 	recvq    []queuedPacket
 	recvBusy bool
+	inRecv   queuedPacket
 
 	// Send serialization: the CPU injects packets one SendOverhead apart.
 	sendReadyAt sim.Time
+
+	// dead marks a killed workstation (chaos node-death fault): the CPU
+	// neither sends nor services interrupts, while the NIC hardware below
+	// keeps echoing link-level symbols until its cable is also cut.
+	dead bool
 }
 
 type queuedPacket struct {
@@ -139,6 +147,16 @@ func (n *Node) MAC() myrinet.MAC { return n.cfg.MAC }
 // Stats returns a copy of the host-stack counters.
 func (n *Node) Stats() Stats { return n.stats }
 
+// Kill halts the workstation: pending and future sends are discarded and
+// arriving datagrams are dropped without processing. The interface hardware
+// is untouched — a dead host's NIC still participates in link-level flow
+// control, which is exactly why chaos campaigns pair Kill with severing the
+// node's cable when they want the peer's detectors to see full silence.
+func (n *Node) Kill() { n.dead = true }
+
+// Dead reports whether the workstation has been killed.
+func (n *Node) Dead() bool { return n.dead }
+
 // Socket is a bound UDP port.
 type Socket struct {
 	node    *Node
@@ -167,6 +185,13 @@ func (n *Node) Bind(port uint16, handler func(src myrinet.MAC, srcPort uint16, d
 
 // Close releases the socket's port.
 func (s *Socket) Close() { delete(s.node.sockets, s.port) }
+
+// SetHandler rebinds the socket's delivery handler. Applications that
+// survive a fork use this to point their cloned sockets at new-world
+// closures (a fork carries sockets with nil handlers; see Node.Clone).
+func (s *Socket) SetHandler(handler func(src myrinet.MAC, srcPort uint16, data []byte)) {
+	s.handler = handler
+}
 
 // udpHeaderLen is srcPort(2) + dstPort(2) + length(2) + checksum(2).
 const udpHeaderLen = 8
@@ -213,24 +238,59 @@ func (n *Node) jitter() sim.Duration {
 // SendUDP queues a datagram to dst. The CPU serializes sends one
 // SendOverhead apart; the NIC transmits when the packet reaches it.
 func (n *Node) SendUDP(dst myrinet.MAC, srcPort, dstPort uint16, data []byte) {
+	if n.dead {
+		return
+	}
 	dgram := EncodeUDP(srcPort, dstPort, data)
 	at := n.k.Now() + n.cfg.SendOverhead + n.jitter()
 	if n.sendReadyAt > n.k.Now() {
 		at = n.sendReadyAt + n.cfg.SendOverhead + n.jitter()
 	}
 	n.sendReadyAt = at
-	n.k.At(at, func() {
-		if err := n.ifc.Send(dst, dgram); err != nil {
-			n.stats.NoRouteErrors++
-			return
-		}
-		n.stats.UDPSent++
-	})
+	n.k.AtArg(at, firePendingSend, &pendingSend{n: n, dst: dst, dgram: dgram})
+}
+
+// pendingSend is one serialized CPU send awaiting its injection instant.
+// Several can be pending per node (the CPU pipelines them SendOverhead
+// apart), so each is its own allocation.
+type pendingSend struct {
+	n     *Node
+	dst   myrinet.MAC
+	dgram []byte
+}
+
+func firePendingSend(a any) {
+	s := a.(*pendingSend)
+	if s.n.dead {
+		return
+	}
+	if err := s.n.ifc.Send(s.dst, s.dgram); err != nil {
+		s.n.stats.NoRouteErrors++
+		return
+	}
+	s.n.stats.UDPSent++
+}
+
+// CloneSimArg implements sim.ArgClonable: a fork remaps the node and copies
+// the datagram so neither world aliases the other's buffer.
+func (s *pendingSend) CloneSimArg(m *sim.Mapper) any {
+	n2, ok := m.Lookup(s.n)
+	if !ok {
+		panic("host: fork: pending send references an uncloned node")
+	}
+	return &pendingSend{
+		n:     n2.(*Node),
+		dst:   s.dst,
+		dgram: append([]byte(nil), s.dgram...),
+	}
 }
 
 // onDatagram is the NIC delivery path: checksum and demultiplex at
 // interrupt level, then queue for process-level delivery.
 func (n *Node) onDatagram(src myrinet.MAC, payload []byte) {
+	if n.dead {
+		return
+	}
 	srcPort, dstPort, data, err := DecodeUDP(payload)
 	if err != nil {
 		if err == errChecksum {
@@ -262,22 +322,27 @@ func (n *Node) pumpRecv() {
 		return
 	}
 	n.recvBusy = true
-	p := n.recvq[0]
+	n.inRecv = n.recvq[0]
 	n.recvq = n.recvq[1:]
 	done := n.quantize(n.k.Now() + n.cfg.RecvOverhead + n.jitter())
-	n.k.At(done, func() {
-		n.recvBusy = false
-		if s, ok := n.sockets[p.dstPort]; ok {
-			n.stats.UDPReceived++
-			s.received++
-			if s.handler != nil {
-				s.handler(p.src, p.srcPort, p.data)
-			}
-		} else {
-			n.stats.NoSocketDrops++
+	n.k.AtArg(done, nodeRecvDone, n)
+}
+
+func nodeRecvDone(a any) {
+	n := a.(*Node)
+	p := n.inRecv
+	n.inRecv = queuedPacket{}
+	n.recvBusy = false
+	if s, ok := n.sockets[p.dstPort]; ok {
+		n.stats.UDPReceived++
+		s.received++
+		if s.handler != nil {
+			s.handler(p.src, p.srcPort, p.data)
 		}
-		n.pumpRecv()
-	})
+	} else {
+		n.stats.NoSocketDrops++
+	}
+	n.pumpRecv()
 }
 
 // quantize rounds t up to the node's next interrupt-tick boundary.

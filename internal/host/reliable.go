@@ -223,9 +223,11 @@ func (f *flow) transmit() {
 	f.sentAt = f.r.k.Now()
 	f.r.node.SendUDP(f.dst, f.r.port, f.r.port, f.inflight)
 	wait := f.rto + sim.Duration(f.r.k.Rand().Int63n(int64(f.rto/4)+1))
-	f.timer = f.r.k.After(wait, f.onTimeout)
+	f.timer = f.r.k.AfterArg(wait, flowTimeout, f)
 	f.timerSet = true
 }
+
+func flowTimeout(a any) { a.(*flow).onTimeout() }
 
 func (f *flow) stopTimer() {
 	if f.timerSet {

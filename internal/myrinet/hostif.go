@@ -208,11 +208,16 @@ func (ifc *Interface) SendPacket(p *Packet) {
 		ifc.ctr.Drop(DropTxQueue)
 		return
 	}
-	ifc.lc.EnqueuePacket(p.EncodeChars(), func(terminated bool) {
-		if !terminated {
-			ifc.ctr.PacketsSent++
-		}
-	})
+	ifc.lc.EnqueuePacketTo(p.EncodeChars(), ifc)
+}
+
+// TxDone implements TxCompletion: the interface's per-packet send accounting.
+// The interface (not a closure) carries the completion so pending transmit
+// queues survive a fork.
+func (ifc *Interface) TxDone(terminated bool) {
+	if !terminated {
+		ifc.ctr.PacketsSent++
+	}
 }
 
 // ---- receive ----

@@ -51,10 +51,31 @@ type LinkController struct {
 }
 
 // txPacket is one queued packet: its encoded character stream (including the
-// trailing GAP) and a completion callback.
+// trailing GAP) and a completion callback. Completion comes in two forms:
+// the closure form (onDone) for tests and ad-hoc senders, and the interface
+// form (done) for registered model objects. Only the interface form survives
+// a fork — a closure's captures cannot be rebound to the new world.
 type txPacket struct {
 	chars  []phy.Character
 	onDone func(terminated bool)
+	done   TxCompletion
+}
+
+// TxCompletion receives packet-completion notifications: terminated=false
+// when the last character was handed to the link, terminated=true when the
+// long-period timeout (or stop watchdog) killed the packet. Implementations
+// that are registered model objects remap cleanly across a fork.
+type TxCompletion interface {
+	TxDone(terminated bool)
+}
+
+func (p *txPacket) complete(terminated bool) {
+	if p.onDone != nil {
+		p.onDone(terminated)
+	}
+	if p.done != nil {
+		p.done.TxDone(terminated)
+	}
 }
 
 // LinkControllerConfig parameterizes a controller.
@@ -166,6 +187,13 @@ func (lc *LinkController) EnqueuePacket(chars []phy.Character, onDone func(termi
 	lc.scheduleTx()
 }
 
+// EnqueuePacketTo is EnqueuePacket with an interface-form completion: the
+// fork-safe path. done may be nil.
+func (lc *LinkController) EnqueuePacketTo(chars []phy.Character, done TxCompletion) {
+	lc.txq = append(lc.txq, &txPacket{chars: chars, done: done})
+	lc.scheduleTx()
+}
+
 // QueuedPackets reports how many packets wait behind the current one.
 func (lc *LinkController) QueuedPackets() int { return len(lc.txq) }
 
@@ -254,9 +282,7 @@ func (lc *LinkController) txStep() {
 		done := lc.cur
 		lc.cur = nil
 		lc.longTimer.Stop()
-		if done.onDone != nil {
-			done.onDone(false)
-		}
+		done.complete(false)
 	}
 	lc.scheduleTx()
 }
@@ -350,17 +376,13 @@ func (lc *LinkController) onLongTimeout() {
 		// forward RESET so downstream hops do not stay held for another
 		// long-timeout period each.
 		lc.out.SendOne(charGap)
-		if victim.onDone != nil {
-			victim.onDone(true)
-		}
+		victim.complete(true)
 		lc.resetLink()
 		return
 	}
 	// Terminate the packet on the wire so downstream paths release.
 	lc.out.SendOne(charGap)
-	if victim.onDone != nil {
-		victim.onDone(true)
-	}
+	victim.complete(true)
 	// Remain paused if STOP is still in force; the short timer will
 	// clear it if the remote has gone silent. Re-arm the long timer for
 	// the next queued packet so a persistent block keeps draining the
@@ -387,9 +409,7 @@ func (lc *LinkController) onStopWatchdog() {
 		lc.cur = nil
 		lc.ctr.Drop(DropTerminated)
 		lc.out.SendOne(charGap)
-		if victim.onDone != nil {
-			victim.onDone(true)
-		}
+		victim.complete(true)
 	}
 	lc.resetLink()
 }

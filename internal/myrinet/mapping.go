@@ -155,13 +155,24 @@ func (m *MCP) start() {
 	if m.cfg.InitialMapper {
 		m.isMapper = true
 	}
-	m.ifc.k.After(m.cfg.InitialDelay, func() {
-		if !m.isMapper {
-			m.watchdog.Reset()
-		}
-		m.tick()
-	})
+	m.ifc.k.AfterArg(m.cfg.InitialDelay, mcpStart, m)
 }
+
+// Package-level trampolines: the MCP's periodic machinery schedules
+// capture-free (AfterArg) so a warmed testbed with mapping armed can be
+// forked (see sim.Mapper).
+func mcpStart(a any) {
+	m := a.(*MCP)
+	if !m.isMapper {
+		m.watchdog.Reset()
+	}
+	m.tick()
+}
+
+func mcpTick(a any)       { a.(*MCP).tick() }
+func mcpSecondWave(a any) { a.(*MCP).secondWave() }
+func mcpFinish(a any)     { a.(*MCP).finishRound() }
+func mcpBegin(a any)      { a.(*MCP).beginRound() }
 
 // tick is the single per-node periodic driver: mappers begin a round every
 // MapPeriod ("performed once every second").
@@ -169,7 +180,7 @@ func (m *MCP) tick() {
 	if m.isMapper && !m.roundActive {
 		m.beginRound()
 	}
-	m.ifc.k.After(m.cfg.MapPeriod, m.tick)
+	m.ifc.k.AfterArg(m.cfg.MapPeriod, mcpTick, m)
 }
 
 // IsMapper reports whether this node currently acts as the network mapper.
@@ -214,9 +225,9 @@ func (m *MCP) beginRound() {
 		m.sendScout([]byte{SwitchHop(p), RouteFinal}, p)
 	}
 	if m.cfg.ProbeDepth >= 2 {
-		m.ifc.k.After(m.cfg.ScoutTimeout, m.secondWave)
+		m.ifc.k.AfterArg(m.cfg.ScoutTimeout, mcpSecondWave, m)
 	} else {
-		m.ifc.k.After(m.cfg.ScoutTimeout, m.finishRound)
+		m.ifc.k.AfterArg(m.cfg.ScoutTimeout, mcpFinish, m)
 	}
 }
 
@@ -238,7 +249,7 @@ func (m *MCP) secondWave() {
 			m.sendScout([]byte{SwitchHop(p), SwitchHop(q), RouteFinal}, p)
 		}
 	}
-	m.ifc.k.After(m.cfg.ScoutTimeout, m.finishRound)
+	m.ifc.k.AfterArg(m.cfg.ScoutTimeout, mcpFinish, m)
 }
 
 func (m *MCP) sendScout(route []byte, firstHop int) {
@@ -506,7 +517,7 @@ func (m *MCP) handleTable(payload []byte) {
 		// We outrank the active mapper: take over.
 		m.promotions++
 		m.isMapper = true
-		m.ifc.k.After(m.cfg.InitialDelay, m.beginRound)
+		m.ifc.k.AfterArg(m.cfg.InitialDelay, mcpBegin, m)
 	}
 }
 

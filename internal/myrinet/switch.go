@@ -421,6 +421,28 @@ func (p *switchPort) emit(b byte) {
 	p.outPort.lc.StreamChars([]phy.Character{phy.DataChar(b)})
 }
 
+// outputWake is the argument of a deferred waiter wake-up. It is a distinct
+// allocation (not a field on the port) because a port can in principle be
+// re-queued and re-woken while an earlier wake is still in flight, and the
+// two wakes must not share state. It clones across a fork by remapping both
+// ports.
+type outputWake struct{ waiter, out *switchPort }
+
+func fireOutputWake(a any) {
+	w := a.(*outputWake)
+	w.waiter.onOutputFree(w.out)
+}
+
+// CloneSimArg implements sim.ArgClonable for pending wake events.
+func (w *outputWake) CloneSimArg(m *sim.Mapper) any {
+	waiter, ok1 := m.Lookup(w.waiter)
+	out, ok2 := m.Lookup(w.out)
+	if !ok1 || !ok2 {
+		panic("myrinet: fork: wake references an uncloned switch port")
+	}
+	return &outputWake{waiter: waiter.(*switchPort), out: out.(*switchPort)}
+}
+
 // releaseOutput frees the held output port and wakes the next waiter.
 func (p *switchPort) releaseOutput() {
 	out := p.outPort
@@ -429,7 +451,7 @@ func (p *switchPort) releaseOutput() {
 	if len(out.waiters) > 0 {
 		next := out.waiters[0]
 		out.waiters = out.waiters[1:]
-		p.sw.k.After(0, func() { next.onOutputFree(out) })
+		p.sw.k.AfterArg(0, fireOutputWake, &outputWake{waiter: next, out: out})
 	}
 }
 

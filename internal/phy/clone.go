@@ -1,0 +1,62 @@
+package phy
+
+import (
+	"fmt"
+
+	"netfi/internal/sim"
+)
+
+// Fork support (see sim/clone.go). Links are pure state plus one
+// cross-reference — the receiver — which resolves in the mapper's deferred
+// pass so wiring order never matters. A pending burst delivery clones by
+// copying its characters into a fresh pooled buffer: the old world will
+// deliver (and possibly release) the original, so the fork must not alias
+// it. Burst and delivery pools are process-global and mutex-guarded, so
+// both worlds share them safely.
+
+// CloneSimArg implements sim.ArgClonable for pending burst deliveries.
+func (d *delivery) CloneSimArg(m *sim.Mapper) any {
+	dst, ok := m.Lookup(d.dst)
+	if !ok {
+		panic(fmt.Sprintf("phy: fork: delivery to uncloned receiver %T", d.dst))
+	}
+	chars := GetBurst(len(d.chars))
+	copy(chars, d.chars)
+	return &delivery{dst: dst.(Receiver), chars: chars}
+}
+
+// Clone forks the link. The receiver rebinds at Mapper.Finish, so the
+// object it points at may be cloned before or after the link itself.
+func (l *Link) Clone(m *sim.Mapper) *Link {
+	l2 := &Link{
+		k:            m.Kernel(),
+		name:         l.name,
+		charPeriod:   l.charPeriod,
+		propDelay:    l.propDelay,
+		busyUntil:    l.busyUntil,
+		severed:      l.severed,
+		chars:        l.chars,
+		bursts:       l.bursts,
+		severedChars: l.severedChars,
+	}
+	m.Put(l, l2)
+	m.Defer(func() error {
+		dst, ok := m.Lookup(l.dst)
+		if !ok {
+			return fmt.Errorf("phy: fork: link %s delivers to uncloned receiver %T", l.name, l.dst)
+		}
+		l2.dst = dst.(Receiver)
+		return nil
+	})
+	return l2
+}
+
+// Clone forks both directions of the cable.
+func (c *Cable) Clone(m *sim.Mapper) *Cable {
+	c2 := &Cable{
+		LeftToRight: c.LeftToRight.Clone(m),
+		RightToLeft: c.RightToLeft.Clone(m),
+	}
+	m.Put(c, c2)
+	return c2
+}

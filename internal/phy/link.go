@@ -86,10 +86,12 @@ type Link struct {
 	dst        Receiver
 
 	busyUntil sim.Time
+	severed   bool
 
 	// Statistics.
-	chars  uint64
-	bursts uint64
+	chars        uint64
+	bursts       uint64
+	severedChars uint64
 }
 
 // LinkConfig describes a link's timing.
@@ -160,6 +162,11 @@ func (l *Link) Send(chars []Character) sim.Time {
 
 // sendOwned queues a burst the link already owns (a pooled copy).
 func (l *Link) sendOwned(burst []Character) sim.Time {
+	if l.severed {
+		l.severedChars += uint64(len(burst))
+		ReleaseBurst(burst)
+		return l.k.Now()
+	}
 	start := l.k.Now()
 	if l.busyUntil > start {
 		start = l.busyUntil
@@ -189,6 +196,11 @@ func (l *Link) SendPriority(chars []Character) sim.Time {
 }
 
 func (l *Link) sendPriorityOwned(burst []Character) sim.Time {
+	if l.severed {
+		l.severedChars += uint64(len(burst))
+		ReleaseBurst(burst)
+		return l.k.Now()
+	}
 	arrival := l.k.Now() + sim.Duration(len(burst))*l.charPeriod + l.propDelay
 	l.chars += uint64(len(burst))
 	l.bursts++
@@ -218,6 +230,18 @@ func (l *Link) SendByte(b byte) sim.Time { return l.SendOne(DataChar(b)) }
 // SendControl transmits a single control character.
 func (l *Link) SendControl(code byte) sim.Time { return l.SendOne(ControlChar(code)) }
 
+// Sever cuts the link: every subsequent burst is discarded at the
+// transmitter and counted. Bursts already committed to the wire still
+// arrive — light in the pipe — so a severed link drains rather than
+// un-happens. Chaos campaigns use this as the cable-cut fault primitive.
+func (l *Link) Sever() { l.severed = true }
+
+// Severed reports whether the link has been cut.
+func (l *Link) Severed() bool { return l.severed }
+
+// SeveredChars reports characters discarded after the cut.
+func (l *Link) SeveredChars() uint64 { return l.severedChars }
+
 // BusyUntil reports when the transmitter finishes its current queue.
 func (l *Link) BusyUntil() sim.Time { return l.busyUntil }
 
@@ -243,6 +267,12 @@ func (l *Link) Throughput() float64 {
 type Cable struct {
 	LeftToRight *Link // carries data from the left endpoint to the right
 	RightToLeft *Link // carries data from the right endpoint to the left
+}
+
+// Sever cuts both directions of the cable.
+func (c *Cable) Sever() {
+	c.LeftToRight.Sever()
+	c.RightToLeft.Sever()
 }
 
 // NewCable builds a full-duplex cable with identical timing in both

@@ -1,0 +1,16 @@
+package rules
+
+// Clone copies the executor's run state — automaton position, counters,
+// once latches — sharing the compiled Program, which is immutable after
+// Compile. Forked campaigns use this to duplicate a warmed injector without
+// recompiling.
+func (e *Executor) Clone() *Executor {
+	e2 := &Executor{}
+	*e2 = *e // p (shared), dfa, symbols, onceFired, quiet (value array)
+	if e.lanes != nil {
+		e2.lanes = append([]uint64(nil), e.lanes...)
+	}
+	e2.matches = append([]uint64(nil), e.matches...)
+	e2.fires = append([]uint64(nil), e.fires...)
+	return e2
+}

@@ -1,0 +1,47 @@
+package serial
+
+import "netfi/internal/sim"
+
+// Fork support (see sim/clone.go). A UART's sink is wiring: the console (or
+// other owner) supplies the new-world sink at clone time, the same way the
+// constructor did.
+
+// Clone forks the transmitter with a new-world sink.
+func (u *UART) Clone(m *sim.Mapper, dst ByteSink) *UART {
+	u2 := &UART{
+		k:         m.Kernel(),
+		byteTime:  u.byteTime,
+		dst:       dst,
+		busyUntil: u.busyUntil,
+		sent:      u.sent,
+		q:         append([]byte(nil), u.q...),
+		qPos:      u.qPos,
+		pumping:   u.pumping,
+		nextAt:    u.nextAt,
+	}
+	m.Put(u, u2)
+	return u2
+}
+
+// Clone forks the console: both UARTs, the SPI assembler, the command
+// decoder, and the response buffer, with the byte-sink wiring rebuilt around
+// the new-world objects.
+func (c *Console) Clone(m *sim.Mapper) *Console {
+	c2 := &Console{
+		k:     m.Kernel(),
+		spi:   c.spi,
+		rxBuf: append([]byte(nil), c.rxBuf...),
+		lines: append([]string(nil), c.lines...),
+	}
+	m.Put(c, c2)
+	c2.dec = c.dec.Clone(m)
+	c2.toBoard = c.toBoard.Clone(m, ByteSinkFunc(func(b byte) {
+		frames := c2.spi.Pack([]byte{b})
+		for _, payload := range c2.spi.Unpack(frames) {
+			c2.dec.InputByte(payload)
+		}
+	}))
+	c2.toHost = c.toHost.Clone(m, ByteSinkFunc(c2.receive))
+	c2.dec.SetOutput(func(b byte) { c2.toHost.Send([]byte{b}) })
+	return c2
+}

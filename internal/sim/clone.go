@@ -1,0 +1,214 @@
+package sim
+
+import "fmt"
+
+// This file is the kernel half of the snapshot/fork engine: a deep copy of
+// the scheduler — timer wheel, heap fallback, current-slot buffer, clock,
+// sequence counter, and random source — that a warmed simulation can be
+// forked from without re-running warmup. The copy is read-only on the
+// source, so many forks can be taken from one base concurrently (the chaos
+// campaign's worker pool does exactly that).
+//
+// Cloning proceeds in three phases:
+//
+//  1. Kernel.Clone copies the scheduler structure. Every pending event is
+//     duplicated and recorded in the Mapper's event table; the duplicates
+//     still point at old-world args.
+//  2. The model object graph clones itself (switches, links, hosts, ...),
+//     registering every old→new pair with Mapper.Put and remapping stored
+//     EventIDs through Mapper.MapEventID.
+//  3. Mapper.Finish rewrites each cloned event's arg to its new-world
+//     counterpart — via the object table, or via ArgClonable for composite
+//     args (a pooled burst delivery, a wake pair) that are not themselves
+//     part of the registered graph.
+//
+// Closure-form events (At/After) cannot be forked: a closure's captures are
+// invisible, so there is no way to rebind them to the new world. Clone
+// fails loudly if any non-canceled closure event is pending — the fork
+// discipline is that everything scheduled across a snapshot rides the
+// AtArg/AfterArg trampoline path. Events scheduled after the fork (fault
+// plans, workloads) may use closures freely.
+
+// ArgClonable is implemented by event args that are not registered model
+// objects but know how to produce a new-world copy of themselves: pooled
+// delivery records, multi-object argument structs, and the like. CloneSimArg
+// must not mutate the receiver (the old world keeps running).
+type ArgClonable interface {
+	CloneSimArg(m *Mapper) any
+}
+
+// Mapper tracks old-world → new-world identity during a fork. One Mapper
+// serves one fork; it is not safe for concurrent use.
+type Mapper struct {
+	k2       *Kernel
+	objs     map[any]any
+	events   map[*event]*event
+	cloned   []*event // every new-world event, for the arg-resolution pass
+	deferred []func() error
+	errs     []error
+}
+
+// NewMapper returns an empty mapper. Pass it to Kernel.Clone first, then to
+// the model clones, then call Finish.
+func NewMapper() *Mapper {
+	return &Mapper{objs: make(map[any]any), events: make(map[*event]*event)}
+}
+
+// Kernel returns the cloned kernel (nil before Kernel.Clone).
+func (m *Mapper) Kernel() *Kernel { return m.k2 }
+
+// Put registers a new-world counterpart for an old-world object. Registering
+// the same object twice panics: it means two owners both cloned it, which
+// would silently split shared state across the fork.
+func (m *Mapper) Put(old, new any) {
+	if _, dup := m.objs[old]; dup {
+		panic(fmt.Sprintf("sim: fork mapper: %T registered twice", old))
+	}
+	m.objs[old] = new
+}
+
+// Lookup returns the registered counterpart of old, if any.
+func (m *Mapper) Lookup(old any) (any, bool) {
+	v, ok := m.objs[old]
+	return v, ok
+}
+
+// Defer queues a fixup to run at Finish, after the whole object graph has
+// registered. Cross-references between clones (a link's receiver, a port's
+// downstream) resolve here so clone order never matters.
+func (m *Mapper) Defer(fn func() error) { m.deferred = append(m.deferred, fn) }
+
+// MapEventID translates an old-world EventID into the fork. A stale ID (its
+// event already fired or was recycled) maps to the zero EventID, which
+// Cancel treats as a no-op — exactly the semantics the stale ID had at home.
+func (m *Mapper) MapEventID(id EventID) EventID {
+	if id.ev == nil {
+		return EventID{}
+	}
+	ev2, ok := m.events[id.ev]
+	if !ok {
+		return EventID{}
+	}
+	// Keep the caller's generation: a valid ID stays valid (the clone
+	// copied the event's gen) and a stale one stays stale.
+	return EventID{ev: ev2, gen: id.gen}
+}
+
+// defer records a fork error to be reported by Finish.
+func (m *Mapper) deferErr(err error) { m.errs = append(m.errs, err) }
+
+// resolveArg maps one event arg into the fork.
+func (m *Mapper) resolveArg(a any) (any, error) {
+	if a == nil {
+		return nil, nil
+	}
+	if v, ok := m.objs[a]; ok {
+		return v, nil
+	}
+	if c, ok := a.(ArgClonable); ok {
+		return c.CloneSimArg(m), nil
+	}
+	return nil, fmt.Errorf("sim: fork: unresolved event arg of type %T", a)
+}
+
+// Finish runs the arg-resolution pass: every cloned event's arg is rewritten
+// to its new-world counterpart. It returns the first error accumulated
+// anywhere in the fork (pending closures, unregistered args).
+func (m *Mapper) Finish() error {
+	if len(m.errs) > 0 {
+		return m.errs[0]
+	}
+	for _, fn := range m.deferred {
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	for _, ev := range m.cloned {
+		if ev.canceled || ev.afn == nil {
+			continue
+		}
+		a, err := m.resolveArg(ev.arg)
+		if err != nil {
+			return err
+		}
+		ev.arg = a
+	}
+	return nil
+}
+
+// cloneEvent duplicates one pending event into the fork. The duplicate's arg
+// still points into the old world until Finish rewrites it.
+func (m *Mapper) cloneEvent(old *event) *event {
+	ev := &event{
+		at:       old.at,
+		seq:      old.seq,
+		fn:       old.fn,
+		afn:      old.afn,
+		arg:      old.arg,
+		gen:      old.gen,
+		canceled: old.canceled,
+		index:    old.index,
+	}
+	if old.fn != nil && !old.canceled {
+		m.deferErr(fmt.Errorf(
+			"sim: fork: closure-form event pending at %v (seq %d); snapshot requires AtArg/AfterArg scheduling",
+			old.at, old.seq))
+	}
+	m.events[old] = ev
+	m.cloned = append(m.cloned, ev)
+	return ev
+}
+
+// Clone deep-copies the kernel into m and returns the fork. The source is
+// not mutated, so concurrent Clones from one base are safe as long as the
+// base itself is not running. Model state must be cloned separately (phase
+// 2) and Mapper.Finish called before the fork is used.
+func (k *Kernel) Clone(m *Mapper) *Kernel {
+	k2 := &Kernel{
+		now:       k.now,
+		seq:       k.seq,
+		src:       k.src.clone(),
+		processed: k.processed,
+		live:      k.live,
+		c0:        k.c0,
+		curPos:    k.curPos,
+		lvlCount:  k.lvlCount,
+	}
+	k2.rng = newRand(k2.src)
+	k2.levels[0] = make([]*event, l0Slots)
+	k2.levels[1] = make([]*event, l1Slots)
+	k2.levels[2] = make([]*event, l2Slots)
+	for lvl := range k.levels {
+		for slot, chain := range k.levels[lvl] {
+			if chain == nil {
+				continue
+			}
+			// Preserve exact chain order: cascade and sweep walk the
+			// chain head-first, and fire order within a slot is resolved
+			// by sorting, but recycle order (hence pool reuse) follows
+			// the chain.
+			var head, tail *event
+			for old := chain; old != nil; old = old.next {
+				ev := m.cloneEvent(old)
+				if head == nil {
+					head, tail = ev, ev
+				} else {
+					tail.next = ev
+					tail = ev
+				}
+			}
+			k2.levels[lvl][slot] = head
+		}
+	}
+	k2.queue = make(eventHeap, len(k.queue))
+	for i, old := range k.queue {
+		k2.queue[i] = m.cloneEvent(old)
+	}
+	k2.cur = make([]*event, len(k.cur))
+	for i := k.curPos; i < len(k.cur); i++ {
+		k2.cur[i] = m.cloneEvent(k.cur[i])
+	}
+	m.k2 = k2
+	m.Put(k, k2)
+	return k2
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Snapshot determinism, mirroring sched_equiv_test.go: randomized event
+// programs — nested scheduling, cancels (live, canceled, stale), delays
+// straddling every wheel level and the heap — forked via Mapper/Clone at
+// arbitrary points mid-run. The forked world and the original must both
+// play out the exact trace an un-snapshotted run produces: a snapshot may
+// never perturb event order, timing, cancellation bookkeeping, or the
+// kernel's random stream on either side of the cut.
+
+// forkProg is one randomized program's world: it owns the trace and the
+// registered cancel targets, draws all randomness from the kernel's
+// stream (which clones with the kernel), and schedules exclusively in arg
+// form so pending events survive a fork.
+type forkProg struct {
+	k      *Kernel
+	trace  []traceEntry
+	ids    []EventID
+	budget int
+	tag    int
+}
+
+func newForkProg(k *Kernel) *forkProg {
+	p := &forkProg{k: k, budget: 300}
+	for i := 0; i < 15; i++ {
+		p.schedule()
+	}
+	return p
+}
+
+func (p *forkProg) schedule() {
+	p.budget--
+	p.tag++
+	p.ids = append(p.ids, p.k.AfterArg(randomDelay(p.k.Rand()), forkProgFire, p))
+}
+
+func forkProgFire(a any) {
+	p := a.(*forkProg)
+	p.trace = append(p.trace, traceEntry{p.k.Now(), p.tag})
+	rng := p.k.Rand()
+	for n := rng.Intn(3); n > 0 && p.budget > 0; n-- {
+		p.schedule()
+	}
+	if len(p.ids) > 0 && rng.Intn(4) == 0 {
+		// Cancel a random registered event — live, already canceled, or
+		// already fired (stale EventID); all must stay safe across a fork.
+		p.k.Cancel(p.ids[rng.Intn(len(p.ids))])
+	}
+}
+
+// Clone forks the program into the mapper's new world: trace and budget
+// copy, pending-event handles remap through the event table.
+func (p *forkProg) Clone(m *Mapper) *forkProg {
+	p2 := &forkProg{
+		k:      m.Kernel(),
+		trace:  append([]traceEntry(nil), p.trace...),
+		ids:    make([]EventID, len(p.ids)),
+		budget: p.budget,
+		tag:    p.tag,
+	}
+	for i, id := range p.ids {
+		p2.ids[i] = m.MapEventID(id)
+	}
+	m.Put(p, p2)
+	return p2
+}
+
+// runForkProgram runs seed's program to completion with no snapshot,
+// returning the reference trace.
+func runForkProgram(seed int64) []traceEntry {
+	p := newForkProg(NewKernel(seed))
+	for p.k.Step() {
+	}
+	return p.trace
+}
+
+func forkAt(t *testing.T, p *forkProg) *forkProg {
+	t.Helper()
+	m := NewMapper()
+	p.k.Clone(m)
+	p2 := p.Clone(m)
+	if err := m.Finish(); err != nil {
+		t.Fatalf("fork at event %d: %v", len(p.trace), err)
+	}
+	return p2
+}
+
+func TestForkDeterminismRandomPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		want := runForkProgram(seed)
+		if len(want) == 0 {
+			t.Fatalf("seed %d: empty trace", seed)
+		}
+
+		// Re-run the same program, forking at a seed-derived cut point;
+		// then keep forking the FORK at further cut points — snapshots of
+		// snapshots must stay exact too.
+		cutRng := rand.New(rand.NewSource(seed * 31))
+		cut := cutRng.Intn(len(want))
+		p := newForkProg(NewKernel(seed))
+		for len(p.trace) < cut && p.k.Step() {
+		}
+		forks := []*forkProg{forkAt(t, p)}
+		if cut2 := cut + cutRng.Intn(len(want)-cut); cut2 > cut {
+			f := forks[0]
+			for len(f.trace) < cut2 && f.k.Step() {
+			}
+			forks = append(forks, forkAt(t, f))
+		}
+
+		// The original must be unperturbed by having been snapshotted.
+		for p.k.Step() {
+		}
+		if !reflect.DeepEqual(p.trace, want) {
+			t.Fatalf("seed %d: original diverged after snapshot at event %d", seed, cut)
+		}
+		for fi, f := range forks {
+			for f.k.Step() {
+			}
+			if !reflect.DeepEqual(f.trace, want) {
+				for i := range want {
+					if i >= len(f.trace) || f.trace[i] != want[i] {
+						t.Fatalf("seed %d fork %d (cut %d): traces diverge at event %d: fork %+v, reference %+v",
+							seed, fi, cut, i,
+							f.trace[i:min(i+3, len(f.trace))], want[i:min(i+3, len(want))])
+					}
+				}
+				t.Fatalf("seed %d fork %d: fork trace has %d extra events",
+					seed, fi, len(f.trace)-len(want))
+			}
+		}
+	}
+}
+
+// TestForkDivergence pins that forks are genuinely independent worlds:
+// after the cut, scheduling in one must not appear in the other.
+func TestForkDivergence(t *testing.T) {
+	p := newForkProg(NewKernel(3))
+	for len(p.trace) < 10 && p.k.Step() {
+	}
+	f := forkAt(t, p)
+
+	fired := ""
+	p.k.After(Microsecond, func() { fired += "orig" })
+	f.k.After(Microsecond, func() { fired += "fork" })
+	origPending, forkPending := p.k.Pending(), f.k.Pending()
+	if origPending != forkPending {
+		t.Fatalf("pending diverged at fork: orig %d, fork %d", origPending, forkPending)
+	}
+	for p.k.Step() {
+	}
+	if fired != "orig" {
+		t.Fatalf("after draining original, fired = %q, want %q", fired, "orig")
+	}
+	for f.k.Step() {
+	}
+	if fired != "origfork" {
+		t.Errorf("after draining fork, fired = %q, want %q", fired, "origfork")
+	}
+}
+
+// TestForkClosureDiscipline pins the guard: a pending closure-form event
+// cannot cross a snapshot and must fail the fork with a diagnostic, not
+// silently misbehave.
+func TestForkClosureDiscipline(t *testing.T) {
+	k := NewKernel(1)
+	k.After(Millisecond, func() {})
+	m := NewMapper()
+	k.Clone(m)
+	if err := m.Finish(); err == nil {
+		t.Fatal("fork with a pending closure-form event succeeded, want error")
+	}
+}

@@ -156,6 +156,7 @@ const (
 type Kernel struct {
 	now       Time
 	seq       uint64
+	src       *prng
 	rng       *rand.Rand
 	processed uint64
 	stopped   bool
@@ -179,12 +180,39 @@ type Kernel struct {
 // NewKernel returns a kernel with its clock at zero and a random source
 // seeded with seed.
 func NewKernel(seed int64) *Kernel {
-	k := &Kernel{rng: rand.New(rand.NewSource(seed))}
+	src := &prng{}
+	src.Seed(seed)
+	k := &Kernel{src: src, rng: newRand(src)}
 	k.levels[0] = make([]*event, l0Slots)
 	k.levels[1] = make([]*event, l1Slots)
 	k.levels[2] = make([]*event, l2Slots)
 	return k
 }
+
+func newRand(src *prng) *rand.Rand { return rand.New(src) }
+
+// prng is the kernel's random source: splitmix64, chosen over the stdlib
+// default source because its entire state is one word the fork engine can
+// copy. rand.Rand itself keeps no hidden state on the integer paths the
+// models use, so cloning the source clones the stream.
+type prng struct{ s uint64 }
+
+// Seed implements rand.Source.
+func (p *prng) Seed(seed int64) { p.s = uint64(seed) }
+
+// Uint64 implements rand.Source64 (splitmix64).
+func (p *prng) Uint64() uint64 {
+	p.s += 0x9e3779b97f4a7c15
+	z := p.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (p *prng) Int63() int64 { return int64(p.Uint64() >> 1) }
+
+func (p *prng) clone() *prng { return &prng{s: p.s} }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }

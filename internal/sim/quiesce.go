@@ -1,5 +1,7 @@
 package sim
 
+import "time"
+
 // QuiesceConfig parameterizes RunUntilQuiescent: a bounded run that tells a
 // wedged simulation apart from a finished one. Campaigns need the
 // distinction to be deterministic — the paper's real test bed detected hangs
@@ -21,6 +23,15 @@ type QuiesceConfig struct {
 	// periodic source feeding an eternally dropping sink still advances
 	// Progress forever). Zero selects 10 s.
 	Deadline Duration
+	// WallClock bounds the run in real (host) time — the escape hatch
+	// for a livelocked fork whose event pathology outpaces the virtual
+	// deadline (an event storm that makes virtual time crawl). Zero
+	// disables the check: simulations are normally bounded in virtual
+	// time so results stay machine-independent, and a chaos sweep opts
+	// in per fork. Note a tripped wall clock makes that one result
+	// timing-dependent; sweeps report it as a distinct outcome rather
+	// than folding it into the deterministic classes.
+	WallClock time.Duration
 }
 
 func (c *QuiesceConfig) fillDefaults() {
@@ -36,7 +47,7 @@ func (c *QuiesceConfig) fillDefaults() {
 }
 
 // QuiesceResult reports how a RunUntilQuiescent run ended. Exactly one of
-// Drained, Stalled, DeadlineHit is set.
+// Drained, Stalled, DeadlineHit, WallClockHit is set.
 type QuiesceResult struct {
 	// Drained: the event queue emptied — the simulation is finished.
 	Drained bool
@@ -45,19 +56,24 @@ type QuiesceResult struct {
 	Stalled bool
 	// DeadlineHit: the run reached Deadline still making progress.
 	DeadlineHit bool
+	// WallClockHit: the configured real-time bound elapsed first.
+	WallClockHit bool
 	// Elapsed is virtual time consumed by this call.
 	Elapsed Duration
 	// FinalProgress is the last Progress sample.
 	FinalProgress uint64
 }
 
-// Outcome renders the terminal condition ("drained", "stalled", "deadline").
+// Outcome renders the terminal condition ("drained", "stalled", "deadline",
+// "wallclock").
 func (r QuiesceResult) Outcome() string {
 	switch {
 	case r.Drained:
 		return "drained"
 	case r.Stalled:
 		return "stalled"
+	case r.WallClockHit:
+		return "wallclock"
 	default:
 		return "deadline"
 	}
@@ -77,6 +93,10 @@ func (k *Kernel) RunUntilQuiescent(cfg QuiesceConfig) QuiesceResult {
 	start := k.Now()
 	last := cfg.Progress()
 	lastChange := start
+	var wallStart time.Time
+	if cfg.WallClock > 0 {
+		wallStart = time.Now()
+	}
 	for {
 		k.RunFor(cfg.CheckInterval)
 		now := k.Now()
@@ -96,6 +116,10 @@ func (k *Kernel) RunUntilQuiescent(cfg QuiesceConfig) QuiesceResult {
 		}
 		if now-start >= cfg.Deadline {
 			res.DeadlineHit = true
+			return res
+		}
+		if cfg.WallClock > 0 && time.Since(wallStart) >= cfg.WallClock {
+			res.WallClockHit = true
 			return res
 		}
 	}

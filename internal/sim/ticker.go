@@ -63,6 +63,23 @@ func tickerFire(a any) {
 	}
 }
 
+// Clone forks the ticker into m's new world; fn is the owner-rebound
+// callback (see Timer.Clone).
+func (t *Ticker) Clone(m *Mapper, fn func()) *Ticker {
+	t2 := &Ticker{
+		k:       m.Kernel(),
+		period:  t.period,
+		fn:      fn,
+		stopAt:  t.stopAt,
+		pending: m.MapEventID(t.pending),
+		running: t.running,
+		armed:   t.armed,
+		ticks:   t.ticks,
+	}
+	m.Put(t, t2)
+	return t2
+}
+
 // Stop disarms the ticker. The callback will not fire again until Start.
 func (t *Ticker) Stop() {
 	t.running = false

@@ -44,6 +44,23 @@ func (t *Timer) Stop() {
 	}
 }
 
+// Clone forks the timer into m's new world. The callback cannot be copied
+// (it is a closure over the owner), so the owner's own clone passes the
+// rebound fn; the pending expiry event, if armed, is remapped so the fork
+// fires it at the same instant the source would.
+func (t *Timer) Clone(m *Mapper, fn func()) *Timer {
+	t2 := &Timer{
+		k:       m.Kernel(),
+		d:       t.d,
+		fn:      fn,
+		pending: m.MapEventID(t.pending),
+		armed:   t.armed,
+		fires:   t.fires,
+	}
+	m.Put(t, t2)
+	return t2
+}
+
 // Armed reports whether the timer is counting down.
 func (t *Timer) Armed() bool { return t.armed }
 

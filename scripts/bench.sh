@@ -24,8 +24,8 @@ trap 'rm -f "$raw"' EXIT
 echo "== go test -bench (kernel + datapath + campaign + monitor throughput)"
 # shellcheck disable=SC2086  # benchtime is intentionally word-split
 go test -run '^$' \
-    -bench '^(BenchmarkKernel|BenchmarkCampaignThroughput|BenchmarkKernelEventThroughput|BenchmarkFIFOInjectorPassThrough|BenchmarkFIFOInjectorPerSymbol|BenchmarkFIFOInjectorArmed|BenchmarkMonitorTap|BenchmarkMonitorFlowExport)$' \
-    -benchmem $benchtime . | tee "$raw"
+    -bench '^(BenchmarkKernel|BenchmarkCampaignThroughput|BenchmarkKernelEventThroughput|BenchmarkFIFOInjectorPassThrough|BenchmarkFIFOInjectorPerSymbol|BenchmarkFIFOInjectorArmed|BenchmarkMonitorTap|BenchmarkMonitorFlowExport|BenchmarkChaosFork|BenchmarkChaosRebuild|BenchmarkChaosSweep)$' \
+    -benchmem $benchtime . ./internal/campaign | tee "$raw"
 
 if [ -f "$out" ]; then
     go run ./scripts/benchjson -merge "$out" < "$raw" > "$out.tmp"
