@@ -220,29 +220,34 @@ func BenchmarkFIFOInjectorMatching(b *testing.B) {
 // byte pairs), so ProcessBatch should beat the per-symbol path even though
 // the automaton must be consulted around every candidate anchor.
 func BenchmarkFIFOInjectorArmed(b *testing.B) {
-	for _, path := range []string{"batch", "per-symbol"} {
-		b.Run(path, func(b *testing.B) {
-			prog, err := rules.Compile(ruleBenchSet(8), rules.Options{})
-			if err != nil {
-				b.Fatal(err)
-			}
-			e := core.NewEngine(core.DefaultSlackChars)
-			e.SetRuleProgram(prog)
-			burst := phy.DataChars(make([]byte, 1024))
-			burst[512] = phy.DataChar(0x20)
-			burst[513] = phy.DataChar(0x21)
-			b.SetBytes(1024)
-			b.ResetTimer()
-			if path == "batch" {
-				for i := 0; i < b.N; i++ {
-					e.ProcessBatch(burst)
+	for _, n := range []int{8, 64} {
+		for _, path := range []string{"batch", "per-symbol"} {
+			b.Run(itoa(n)+"rules/"+path, func(b *testing.B) {
+				prog, err := rules.Compile(ruleBenchSet(n), rules.Options{})
+				if err != nil {
+					b.Fatal(err)
 				}
-			} else {
-				for i := 0; i < b.N; i++ {
-					e.Process(burst)
+				if pf := prog.Prefilter(); pf == nil {
+					b.Fatal("armed benchmark rules compiled without a prefilter")
 				}
-			}
-		})
+				e := core.NewEngine(core.DefaultSlackChars)
+				e.SetRuleProgram(prog)
+				burst := phy.DataChars(make([]byte, 1024))
+				burst[512] = phy.DataChar(0x20)
+				burst[513] = phy.DataChar(0x21)
+				b.SetBytes(1024)
+				b.ResetTimer()
+				if path == "batch" {
+					for i := 0; i < b.N; i++ {
+						e.ProcessBatch(burst)
+					}
+				} else {
+					for i := 0; i < b.N; i++ {
+						e.Process(burst)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -170,6 +170,24 @@ func TestCRC8Update4MatchesSerial(t *testing.T) {
 	}
 }
 
+// The sliced 8-byte update must compose exactly like eight serial updates.
+func TestCRC8Update8MatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var b [8]byte
+	for i := 0; i < 2000; i++ {
+		crc := byte(rng.Intn(256))
+		rng.Read(b[:])
+		want := crc
+		for _, x := range b {
+			want = CRC8Update(want, x)
+		}
+		got := CRC8Update8(crc, b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7])
+		if got != want {
+			t.Fatalf("CRC8Update8(%#02x, % 02x) = %#02x, want %#02x", crc, b, got, want)
+		}
+	}
+}
+
 func TestCRC8ZerosMatchesLoop(t *testing.T) {
 	ns := []int{0, 1, 2, 3, 7, 8, 63, 64, 127, 128, 255, 256, 257, 1000, 4096}
 	for _, n := range ns {

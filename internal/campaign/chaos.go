@@ -154,6 +154,12 @@ type ChaosOptions struct {
 	// fork — the warm-path control the benchmark and the equivalence
 	// gate compare against.
 	Rebuild bool
+	// ArmedRules pre-arms a small multi-rule trigger program on the
+	// injector before warmup, so every fork is cut from a world with live
+	// rule-engine state — match counters, capture events, and the compiled
+	// prefilter driving the batch wake table — and the equivalence gate
+	// proves that state clones exactly.
+	ArmedRules bool
 }
 
 func (o *ChaosOptions) fillDefaults() {
@@ -246,6 +252,21 @@ func newChaosBase(seed int64, opts ChaosOptions) *chaosBase {
 		},
 	})
 	tb.Configure("DIR L")
+	if opts.ArmedRules {
+		// Pre-armed rules: the ONCE toggle corrupts one warm payload byte
+		// (the reliable layer retransmits, so warmup still drains) and
+		// leaves an injection plus a completed capture in the base; the
+		// contiguous CAP pair fires on every payload run and compiles a
+		// prefilter; the gapped rule keeps partial-match lanes live; the
+		// last never fires. Every fork then inherits live executor,
+		// capture-ring, and batch-plan state.
+		tb.Configure(
+			"RULE ADD 60 MODE ONCE ACT TOGGLE PAT 55 55 VEC -- 01",
+			"RULE ADD 61 ACT CAP PAT 55 55",
+			"RULE ADD 62 ACT CAP PAT 55 G2 7E",
+			"RULE ADD 63 ACT CAP PAT 3A 3B",
+		)
+	}
 
 	rels := make([]*host.Reliable, len(tb.Nodes))
 	for i, n := range tb.Nodes {
@@ -674,8 +695,13 @@ func chaosFingerprint(tb *Testbed, mon *monitor.Plane, rels []*host.Reliable) st
 		}{{"out", DirOutbound}, {"in", DirInbound}} {
 			e := tb.Injector.Engine(dir.d)
 			chars, matches, injections := e.Stats()
-			fmt.Fprintf(&b, "inj.%s chars=%d matches=%d injections=%d resets=%d\n",
-				dir.name, chars, matches, injections, e.ResetsSeen())
+			fmt.Fprintf(&b, "inj.%s chars=%d matches=%d injections=%d resets=%d captures=%d dropped=%d\n",
+				dir.name, chars, matches, injections, e.ResetsSeen(),
+				len(e.Capture().Events()), e.Capture().DroppedEvents())
+			for _, r := range e.Rules() {
+				rm, rf, _ := e.RuleCounters(r.ID)
+				fmt.Fprintf(&b, "inj.%s rule%d matches=%d fires=%d\n", dir.name, r.ID, rm, rf)
+			}
 		}
 	}
 	names := make([]string, 0, len(tb.Net.Cables))

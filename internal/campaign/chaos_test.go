@@ -24,7 +24,10 @@ func chaosTestOptions(seed int64, forks int) ChaosOptions {
 // warmed base must be byte-identical — same event order, same STAT
 // counters, same detection axis, same full-world fingerprint — to the
 // same plan run on a freshly built, identically warmed testbed. 30
-// seed × plan combinations, spanning k = 1..3 and every fault kind.
+// seed × plan combinations, spanning k = 1..3 and every fault kind;
+// alternate seeds pre-arm the rule engine so forks also carry live
+// executor, prefilter, and capture state (with per-rule counters and
+// capture totals folded into the fingerprint).
 func TestForkEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fork equivalence sweep is long")
@@ -32,6 +35,7 @@ func TestForkEquivalence(t *testing.T) {
 	combos := 0
 	for seed := int64(1); combos < 30; seed++ {
 		opts := chaosTestOptions(seed*7919, 3)
+		opts.ArmedRules = seed%2 == 0
 		plans := GenerateForkPlans(opts)
 		base := newChaosBase(opts.Seed, opts)
 		for _, plan := range plans {
@@ -81,6 +85,35 @@ func diffFingerprints(t *testing.T, a, b string) {
 	}
 	if len(al) != len(bl) {
 		t.Errorf("fingerprint length: fork %d lines, rebuild %d lines", len(al), len(bl))
+	}
+}
+
+// The armed-rules base must actually carry live rule-engine state into the
+// fork point — matched counters and completed captures — or the armed fork
+// equivalence combos would be vacuous.
+func TestChaosArmedBaseCarriesRuleState(t *testing.T) {
+	opts := chaosTestOptions(31337, 1)
+	opts.ArmedRules = true
+	base := newChaosBase(opts.Seed, opts)
+	e := base.tb.Injector.Engine(DirOutbound)
+	if got := len(e.Rules()); got != 4 {
+		t.Fatalf("armed base has %d rules, want 4", got)
+	}
+	if _, f60, _ := e.RuleCounters(60); f60 != 1 {
+		t.Errorf("ONCE toggle rule 60 fired %d times during warmup, want 1", f60)
+	}
+	m61, _, ok := e.RuleCounters(61)
+	if !ok || m61 == 0 {
+		t.Errorf("payload-pair rule 61 never matched during warmup (matches=%d ok=%v)", m61, ok)
+	}
+	if m63, _, _ := e.RuleCounters(63); m63 != 0 {
+		t.Errorf("never-match rule 63 matched %d times", m63)
+	}
+	if _, _, injections := e.Stats(); injections == 0 {
+		t.Error("toggle rule produced no injection during warmup")
+	}
+	if len(e.Capture().Events()) == 0 {
+		t.Error("the warm injection completed no capture event")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"netfi/internal/phy"
+	"netfi/internal/rules"
 	"netfi/internal/sim"
 )
 
@@ -39,6 +40,61 @@ func TestEngineProcessZeroAlloc(t *testing.T) {
 	}
 	if chars, _, _ := e.Stats(); chars == 0 {
 		t.Fatal("datapath saw no characters")
+	}
+}
+
+// An armed rule program must not reintroduce allocations, even while every
+// burst matches, injects, and records a capture: match bookkeeping, the
+// injection, and the capture context all ride storage that is reused once
+// the bounded event store has filled (drop-new keeps counting injections
+// without growing it).
+func TestEngineArmedZeroAlloc(t *testing.T) {
+	rs := []rules.Rule{{
+		ID:     1,
+		Mode:   rules.ModeOn,
+		Action: rules.ActionToggle,
+		Steps: []rules.Step{
+			{Sym: 0x120, Mask: rules.SymbolMask},
+			{Sym: 0x121, Mask: rules.SymbolMask},
+		},
+		CorruptData: []uint16{0, 0x01},
+	}}
+	prog, err := rules.Compile(rs, rules.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"per-symbol", "batch"} {
+		t.Run(path, func(t *testing.T) {
+			e := NewEngine(DefaultSlackChars)
+			e.SetRuleProgram(prog)
+			burst := phy.DataChars(make([]byte, 1024))
+			burst[512] = phy.DataChar(0x20)
+			burst[513] = phy.DataChar(0x21)
+			step := func() {
+				if path == "batch" {
+					e.ProcessBatch(burst)
+				} else {
+					e.Process(burst)
+				}
+			}
+			// Saturate the capture store and warm every pooled buffer: each
+			// burst fires the rule once, so DefaultCaptureEvents bursts fill it.
+			for i := 0; i < DefaultCaptureEvents+8; i++ {
+				step()
+			}
+			if _, matches, injections := e.Stats(); matches == 0 || injections == 0 {
+				t.Fatalf("armed path inactive: matches=%d injections=%d", matches, injections)
+			}
+			if avg := testing.AllocsPerRun(200, step); avg != 0 {
+				t.Errorf("armed %s path allocates %.2f objects per burst, want 0", path, avg)
+			}
+			if e.Capture().DroppedEvents() == 0 {
+				t.Error("event store never saturated; test is not exercising drop-new reuse")
+			}
+			if got := len(e.Capture().Events()); got != DefaultCaptureEvents {
+				t.Errorf("stored events = %d, want the %d-event bound", got, DefaultCaptureEvents)
+			}
+		})
 	}
 }
 

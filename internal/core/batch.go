@@ -8,24 +8,40 @@ import (
 
 // This file is the burst-granular datapath: ProcessBatch produces output
 // byte-identical to the per-symbol Process, but consumes runs of
-// match-impossible characters in bulk. Two mechanisms make that legal:
+// match-impossible characters in bulk. Three mechanisms make that legal:
 //
-//   - A precomputed skip bitmap over the symbol space marks characters that
-//     can neither anchor the legacy compare window (fail the first masked
-//     position) nor begin any rule's automaton (the executor's quiet set).
-//     Runs of skip characters flow through as a single copy — the
+//   - A precomputed wake table over the symbol space classifies characters:
+//     legacy compare anchors (first masked window position matches), rule
+//     starters (characters that can begin some rule's prefix — the
+//     prefilter's starter set, or the complement of the executor's quiet
+//     set when no prefilter is compiled), and link RESET symbols (counted
+//     during the scan so bulk runs need no per-character statistics pass).
+//     Runs with no anchor or starter flow through as a single copy — the
 //     "cut-through" path — with only bulk statistics, capture-ring and
 //     running-CRC updates.
 //
-//   - The per-symbol FSM re-engages around candidate anchors: every
-//     non-skip character is clocked individually, plus the WindowSize-1
-//     characters after it (a match completing later than that cannot
-//     involve the anchor), and for as long as any dynamic condition — a
-//     rule automaton mid-match, tainted FIFO slots awaiting retransmission,
-//     a pending InjectNow, or an armed CRC recompute on a corrupted
-//     packet — could make a pop or a compare content-dependent.
+//   - The rule program's prefilter extends skip runs through starter
+//     characters whose prefix partials provably die: the scan tracks every
+//     viable prefix and only wakes the per-symbol FSM around prefilter hits
+//     (rewound by the maximum prefix length so the exact executor verifies
+//     the whole prefix) and around partials still viable when the scan must
+//     stop (buffer end, or a legacy anchor interrupting it). A span the
+//     scan clears holds no partial that could ever accept: any partial
+//     starting before the clean boundary would have to complete before the
+//     first hit — a contradiction — so it dies, and dead partials never
+//     fire.
+//
+//   - The per-symbol FSM re-engages around candidate anchors: a legacy
+//     anchor is clocked individually plus the WindowSize-1 characters after
+//     it (a match completing later cannot involve the anchor), and rule
+//     wakes hold the FSM for the returned span — after which the executor
+//     being mid-match keeps bulkEligible false on its own. The FSM also
+//     stays engaged while any dynamic condition — tainted FIFO slots
+//     awaiting retransmission, a pending InjectNow, or an armed CRC
+//     recompute on a corrupted packet — could make a pop or a compare
+//     content-dependent.
 
-// batchSpan is the skip-bitmap index space: characters are classified by
+// batchSpan is the wake-table index space: characters are classified by
 // their low 10 bits, covering the 9-bit Myrinet link symbols and the 10-bit
 // Fibre Channel code groups. Masks selecting higher bits (none of the real
 // substrates do) disable the batch path rather than alias.
@@ -34,28 +50,31 @@ const batchSpan = 1024
 // dcFlag is the D/C bit of a link character (bit 8).
 const dcFlag = phy.Character(1) << 8
 
+// Wake-table bits. wakeReset deliberately sits above the engaging bits so a
+// character's reset count is wake>>2 whatever else it carries.
+const (
+	wakeLegacy uint8 = 1 << 0 // anchors the legacy compare window
+	wakeStart  uint8 = 1 << 1 // can begin some rule's prefix
+	wakeReset  uint8 = 1 << 2 // link RESET: counted, never engages
+)
+
 // batchPlan is the cached classification of the symbol space against the
 // current register file and rule set.
 type batchPlan struct {
 	// ok gates the whole batch path: false when a compare mask selects bits
 	// outside the index span, so classification by low bits would alias.
 	ok bool
-	// all short-circuits the scan when every symbol is skippable — the
-	// unarmed cut-through case.
-	all bool
 	// cmpAlways marks an all-don't-care compare window: every cycle matches,
 	// so bulk runs advance the match counter instead of scanning.
 	cmpAlways bool
 	// anchorIdx is the first compare-window position with a nonzero mask
 	// (valid only when !cmpAlways): the position whose masked compare the
-	// skip map encodes.
+	// wake table encodes.
 	anchorIdx int
-	skip      [batchSpan / 64]uint64
-}
-
-func (p *batchPlan) skipSym(c phy.Character) bool {
-	v := uint16(c) & (batchSpan - 1)
-	return p.skip[v>>6]&(1<<uint(v&63)) != 0
+	// pf is the armed program's compiled prefilter, nil when no rules are
+	// armed or the program compiled without a screen.
+	pf   *rules.Prefilter
+	wake [batchSpan]uint8
 }
 
 // rebuildPlan reclassifies the symbol space. Called lazily from ProcessBatch
@@ -81,25 +100,30 @@ func (e *Engine) rebuildPlan() {
 	p.anchorIdx = j
 	var quiet *[rules.SymbolSpace / 64]uint64
 	if e.ruleExec != nil {
-		quiet = e.ruleExec.QuietSymbols()
-	}
-	p.all = true
-	for v := 0; v < batchSpan; v++ {
-		skippable := true
-		if j >= 0 && (phy.Character(v)^e.cfg.CompareData[j])&phy.Character(e.cfg.CompareMask[j]) == 0 {
-			skippable = false // would anchor the legacy compare
+		p.pf = e.ruleExec.Program().Prefilter()
+		if p.pf == nil {
+			quiet = e.ruleExec.QuietSymbols()
 		}
-		if quiet != nil {
+	}
+	for v := 0; v < batchSpan; v++ {
+		var b uint8
+		if j >= 0 && (phy.Character(v)^e.cfg.CompareData[j])&phy.Character(e.cfg.CompareMask[j]) == 0 {
+			b |= wakeLegacy
+		}
+		if p.pf != nil {
+			if p.pf.Starter(uint16(v)) {
+				b |= wakeStart
+			}
+		} else if quiet != nil {
 			s := v & rules.SymbolMask
 			if quiet[s>>6]&(1<<uint(s&63)) == 0 {
-				skippable = false // could begin a rule match
+				b |= wakeStart
 			}
 		}
-		if skippable {
-			p.skip[v>>6] |= 1 << uint(v&63)
-		} else {
-			p.all = false
+		if phy.Character(v)&(dcFlag|0xFF) == LinkResetCode {
+			b |= wakeReset
 		}
+		p.wake[v] = b
 	}
 }
 
@@ -154,11 +178,129 @@ func (e *Engine) entryGuard() int {
 	return g
 }
 
+// planScan classifies the head of a bulk-eligible span: chars[:clean] can
+// neither anchor the legacy compare nor complete any rule's prefix — they
+// flow through bulkRun as one copy, with resets their RESET-symbol count —
+// and the hold characters after them must be clocked per-symbol before
+// scanning may resume. hold is zero only when the whole span is clean.
+func (e *Engine) planScan(chars []phy.Character) (clean, hold, resets int) {
+	p := &e.plan
+	w := &p.wake
+	n := len(chars)
+	i := 0
+	for i < n {
+		// Cut-through sprint: 16-wide blocks with no engaging character
+		// (two independent 8-wide OR trees, one branch per block), then an
+		// 8-wide tail.
+		for i+16 <= n {
+			or0 := w[chars[i]&(batchSpan-1)] | w[chars[i+1]&(batchSpan-1)] |
+				w[chars[i+2]&(batchSpan-1)] | w[chars[i+3]&(batchSpan-1)] |
+				w[chars[i+4]&(batchSpan-1)] | w[chars[i+5]&(batchSpan-1)] |
+				w[chars[i+6]&(batchSpan-1)] | w[chars[i+7]&(batchSpan-1)]
+			or1 := w[chars[i+8]&(batchSpan-1)] | w[chars[i+9]&(batchSpan-1)] |
+				w[chars[i+10]&(batchSpan-1)] | w[chars[i+11]&(batchSpan-1)] |
+				w[chars[i+12]&(batchSpan-1)] | w[chars[i+13]&(batchSpan-1)] |
+				w[chars[i+14]&(batchSpan-1)] | w[chars[i+15]&(batchSpan-1)]
+			or := or0 | or1
+			if or&(wakeLegacy|wakeStart) != 0 {
+				break
+			}
+			if or&wakeReset != 0 {
+				resets += resetsIn(w, chars[i:i+16])
+			}
+			i += 16
+		}
+		for i+8 <= n {
+			or := w[chars[i]&(batchSpan-1)] | w[chars[i+1]&(batchSpan-1)] |
+				w[chars[i+2]&(batchSpan-1)] | w[chars[i+3]&(batchSpan-1)] |
+				w[chars[i+4]&(batchSpan-1)] | w[chars[i+5]&(batchSpan-1)] |
+				w[chars[i+6]&(batchSpan-1)] | w[chars[i+7]&(batchSpan-1)]
+			if or&(wakeLegacy|wakeStart) != 0 {
+				break
+			}
+			if or&wakeReset != 0 {
+				resets += resetsIn(w, chars[i:i+8])
+			}
+			i += 8
+		}
+		if i >= n {
+			break
+		}
+		b := w[chars[i]&(batchSpan-1)]
+		if b&(wakeLegacy|wakeStart) == 0 {
+			resets += int(b >> 2)
+			i++
+			continue
+		}
+		if b&wakeLegacy != 0 {
+			return i, WindowSize, resets
+		}
+		// Rule starter. Without a prefilter the executor wakes here; with
+		// one, track the viable prefixes and clean through dead partials.
+		if p.pf == nil {
+			return i, 1, resets
+		}
+		sc := p.pf.NewScanner()
+		j := i
+		live := true
+		for j < n {
+			c := chars[j]
+			bj := w[c&(batchSpan-1)]
+			if bj&wakeLegacy != 0 {
+				// Legacy anchor with partials still viable: clean up to the
+				// earliest live partial, then per-symbol through the
+				// anchor's compare window.
+				back := sc.Depth()
+				clean = j - back
+				resets -= resetsIn(w, chars[clean:j])
+				return clean, back + WindowSize, resets
+			}
+			resets += int(bj >> 2)
+			ev := sc.Step(uint16(c))
+			j++
+			if ev == rules.ScanHit {
+				// Rewind so the exact executor sees the longest possible
+				// completing prefix; the rewound characters' resets move to
+				// the per-symbol side.
+				clean = j - p.pf.MaxLen()
+				if clean < 0 {
+					clean = 0
+				}
+				resets -= resetsIn(w, chars[clean:j])
+				return clean, j - clean, resets
+			}
+			if ev == rules.ScanDead {
+				live = false
+				break
+			}
+		}
+		if live {
+			// Viable partials at the span's end: hold them back so a prefix
+			// straddling the call boundary is verified per-symbol.
+			back := sc.Depth()
+			clean = n - back
+			resets -= resetsIn(w, chars[clean:])
+			return clean, back, resets
+		}
+		i = j
+	}
+	return n, 0, resets
+}
+
+// resetsIn counts RESET symbols via the wake table.
+func resetsIn(w *[batchSpan]uint8, chars []phy.Character) int {
+	r := 0
+	for _, c := range chars {
+		r += int(w[c&(batchSpan-1)] >> 2)
+	}
+	return r
+}
+
 // ProcessBatch clocks the engine over a burst and returns the characters
-// released downstream, exactly as Process would, but burst-granular: runs of
-// skip-map characters bypass the per-symbol FSM. The returned slice is the
-// same reused scratch buffer Process uses, valid until the next call of
-// either method.
+// released downstream, exactly as Process would, but burst-granular: scanned
+// clean runs bypass the per-symbol FSM. The returned slice is the same
+// reused scratch buffer Process uses, valid until the next call of either
+// method.
 func (e *Engine) ProcessBatch(chars []phy.Character) []phy.Character {
 	out := e.procOut[:0]
 	if e.batchDirty {
@@ -169,9 +311,11 @@ func (e *Engine) ProcessBatch(chars []phy.Character) []phy.Character {
 	for i < n {
 		if guard > 0 || !e.bulkEligible() {
 			c := chars[i]
-			if e.plan.ok && !e.plan.skipSym(c) {
-				// Candidate anchor: this character plus the next
-				// WindowSize-1 stay on the per-symbol path.
+			if e.plan.ok && e.plan.wake[c&(batchSpan-1)]&wakeLegacy != 0 {
+				// Legacy anchor: it plus the next WindowSize-1 characters
+				// stay per-symbol. Rule starters need no guard re-arm: the
+				// executor leaves its start configuration, which pins
+				// bulkEligible false until the automaton settles.
 				guard = WindowSize
 			}
 			out = e.stepOne(c, out)
@@ -181,20 +325,12 @@ func (e *Engine) ProcessBatch(chars []phy.Character) []phy.Character {
 			}
 			continue
 		}
-		j := i
-		if e.plan.all {
-			j = n
-		} else {
-			for j < n && e.plan.skipSym(chars[j]) {
-				j++
-			}
+		clean, hold, resets := e.planScan(chars[i:])
+		if clean > 0 {
+			out = e.bulkRun(chars[i:i+clean], out, resets)
+			i += clean
 		}
-		if j == i {
-			guard = WindowSize
-			continue
-		}
-		out = e.bulkRun(chars[i:j], out)
-		i = j
+		guard = hold
 	}
 	e.procOut = out
 	return out
@@ -203,16 +339,12 @@ func (e *Engine) ProcessBatch(chars []phy.Character) []phy.Character {
 // bulkRun consumes a run of characters proven unable to match or trigger:
 // a single copy through the pipeline with statistics, capture, CRC and
 // FIFO-tail updates, no per-symbol FSM. Preconditions (owned by
-// ProcessBatch): bulkEligible, every character in seg is in the skip map,
-// and the entry/anchor guard has expired.
-func (e *Engine) bulkRun(seg []phy.Character, out []phy.Character) []phy.Character {
+// ProcessBatch): bulkEligible, planScan cleared the run (resets is its
+// RESET-symbol count), and the entry/anchor guard has expired.
+func (e *Engine) bulkRun(seg []phy.Character, out []phy.Character, resets int) []phy.Character {
 	m := len(seg)
 	e.chars += uint64(m)
-	for _, c := range seg {
-		if c&(dcFlag|0xFF) == LinkResetCode {
-			e.resetsSeen++
-		}
-	}
+	e.resetsSeen += uint64(resets)
 	if e.ruleExec != nil {
 		e.ruleExec.SkipQuiet(m)
 	}
@@ -236,7 +368,7 @@ func (e *Engine) bulkRun(seg []phy.Character, out []phy.Character) []phy.Charact
 	}
 	for k := 0; k < popFifo; k++ {
 		c := e.fifo[e.head].ch
-		e.head = (e.head + 1) % len(e.fifo)
+		e.head = (e.head + 1) & (len(e.fifo) - 1)
 		out = append(out, c)
 		if c.IsData() {
 			e.runningCRC = bitstream.CRC8Update(e.runningCRC, c.Byte())
@@ -256,7 +388,7 @@ func (e *Engine) bulkRun(seg []phy.Character, out []phy.Character) []phy.Charact
 	// FIFO tail: only the kept suffix of seg is materialized in the ring —
 	// at most slack slots regardless of run length.
 	for k := popSeg; k < m; k++ {
-		pos := (e.head + e.count) % len(e.fifo)
+		pos := (e.head + e.count) & (len(e.fifo) - 1)
 		e.fifo[pos] = fifoEntry{ch: seg[k]}
 		e.count++
 	}
@@ -269,7 +401,7 @@ func (e *Engine) bulkRun(seg []phy.Character, out []phy.Character) []phy.Charact
 			d := WindowSize - 1 - i
 			e.window[i] = winEntry{
 				ch:  seg[m-1-d],
-				pos: (e.head + e.count - 1 - d) % len(e.fifo),
+				pos: (e.head + e.count - 1 - d) & (len(e.fifo) - 1),
 			}
 		}
 	} else {
@@ -278,7 +410,7 @@ func (e *Engine) bulkRun(seg []phy.Character, out []phy.Character) []phy.Charact
 			d := m - 1 - i
 			e.window[WindowSize-m+i] = winEntry{
 				ch:  seg[i],
-				pos: (e.head + e.count - 1 - d) % len(e.fifo),
+				pos: (e.head + e.count - 1 - d) & (len(e.fifo) - 1),
 			}
 		}
 	}
@@ -286,12 +418,23 @@ func (e *Engine) bulkRun(seg []phy.Character, out []phy.Character) []phy.Charact
 }
 
 // crcAdvance runs the per-packet CRC state machine over a popped run:
-// data bytes extend the running CRC (slicing-by-4 on all-data blocks),
-// control symbols reset it and clear the corrupted-packet latch, exactly as
-// popOne does per character.
+// data bytes extend the running CRC (slicing-by-8 on all-data blocks, with a
+// 4-wide then per-character tail), control symbols reset it and clear the
+// corrupted-packet latch, exactly as popOne does per character.
 func crcAdvance(crc byte, pc bool, seg []phy.Character) (byte, bool) {
 	i, n := 0, len(seg)
 	for i < n {
+		for i+8 <= n {
+			c0, c1, c2, c3 := seg[i], seg[i+1], seg[i+2], seg[i+3]
+			c4, c5, c6, c7 := seg[i+4], seg[i+5], seg[i+6], seg[i+7]
+			if c0&c1&c2&c3&c4&c5&c6&c7&dcFlag == 0 {
+				break // a control symbol inside the block
+			}
+			crc = bitstream.CRC8Update8(crc,
+				byte(c0), byte(c1), byte(c2), byte(c3),
+				byte(c4), byte(c5), byte(c6), byte(c7))
+			i += 8
+		}
 		for i+4 <= n {
 			c0, c1, c2, c3 := seg[i], seg[i+1], seg[i+2], seg[i+3]
 			if c0&c1&c2&c3&dcFlag == 0 {

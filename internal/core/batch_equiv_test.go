@@ -59,17 +59,23 @@ func batchRules(c *batchCursor) []rules.Rule {
 			// some windows mid-stream so a clock drift flips fire gating.
 			r.N = uint64(c.next()) * 2
 		}
-		steps := 1 + int(c.next()%3)
+		steps := 1 + int(c.next()%4)
 		for j := 0; j < steps; j++ {
 			s := rules.Step{
 				Sym:  uint16(c.next()) | uint16(c.next()&1)<<8,
 				Mask: rules.SymbolMask,
 			}
-			if c.next()%4 == 0 {
+			switch c.next() % 8 {
+			case 0:
 				s.Mask = 0x0FF
+			case 1:
+				s.Mask = 0 // wildcard step: no usable literal prefix here
 			}
-			if j > 0 {
-				s.Gap = int(c.next() % 3)
+			if j > 0 && c.next()%3 == 0 {
+				// Mostly contiguous steps, so multi-symbol literal prefixes
+				// dominate and the batch prefilter actually engages; the
+				// occasional gap cuts the prefix short.
+				s.Gap = 1 + int(c.next()%2)
 			}
 			r.Steps = append(r.Steps, s)
 		}
@@ -172,7 +178,17 @@ func checkEngineBatchCase(t *testing.T, caseN int, data []byte) {
 	ref.Configure(cfg)
 	batch.Configure(cfg)
 	if len(rs) > 0 {
-		if p, err := rules.Compile(rs, rules.Options{}); err == nil {
+		// Sweep the prefilter engines: the per-symbol reference never uses
+		// the screen, so every mode is checked against exact execution.
+		pfModes := []rules.PrefilterMode{
+			rules.PrefilterAuto, rules.PrefilterOff,
+			rules.PrefilterShiftAnd, rules.PrefilterReduced,
+		}
+		opts := rules.Options{Prefilter: pfModes[int(c.next())%len(pfModes)]}
+		if opts.Prefilter == rules.PrefilterReduced && c.next()%2 == 0 {
+			opts.PrefilterBudget = 4 // starve the budget: truncation ladder
+		}
+		if p, err := rules.Compile(rs, opts); err == nil {
 			ref.SetRuleProgram(p)
 			batch.SetRuleProgram(p)
 		}

@@ -9,6 +9,14 @@ const (
 	DefaultCapturePost = 16
 )
 
+// DefaultCaptureEvents bounds the completed-event store, like a hardware
+// capture RAM of fixed depth: once full, new injections still count and
+// corrupt the stream, but their context records are dropped (drop-new, with
+// a counter) rather than growing the store. The bound is what lets the
+// armed datapath run allocation-free in steady state — every buffer below
+// is reused once warmed.
+const DefaultCaptureEvents = 64
+
 // CaptureRing records the characters surrounding fault-injection events so
 // the user has "sufficient dynamic state information about the environment
 // in which the fault injection was performed" (§3.2). It continuously
@@ -25,9 +33,11 @@ type CaptureRing struct {
 	post      int
 	capturing bool
 	remaining int
-	snapshot  []phy.Character
+	snapshot  []phy.Character // reused across captures (len 0 when idle)
 
-	events []Capture
+	maxEvents int
+	dropped   uint64
+	events    []Capture // slots and their Context buffers are reused
 }
 
 // Capture is one completed injection-context record.
@@ -41,12 +51,39 @@ type Capture struct {
 }
 
 // NewCaptureRing returns a ring keeping pre characters before and post
-// characters after each injection.
+// characters after each injection, storing up to DefaultCaptureEvents
+// completed records.
 func NewCaptureRing(pre, post int) *CaptureRing {
 	if pre <= 0 || post <= 0 {
 		panic("core: capture geometry must be positive")
 	}
-	return &CaptureRing{pre: make([]phy.Character, pre), post: post}
+	return &CaptureRing{
+		pre:       make([]phy.Character, pre),
+		post:      post,
+		maxEvents: DefaultCaptureEvents,
+	}
+}
+
+// finishCapture files the completed snapshot as an event. Event slots (and
+// their Context buffers) are recycled: the slice is re-extended over
+// capacity left by a prior Reset so steady-state captures allocate nothing.
+func (r *CaptureRing) finishCapture() {
+	r.capturing = false
+	if len(r.events) >= r.maxEvents {
+		r.dropped++
+		r.snapshot = r.snapshot[:0]
+		return
+	}
+	n := len(r.events)
+	if n < cap(r.events) {
+		r.events = r.events[:n+1]
+	} else {
+		r.events = append(r.events, Capture{})
+	}
+	ev := &r.events[n]
+	ev.Context = append(ev.Context[:0], r.snapshot...)
+	ev.PreLen = len(r.snapshot) - r.post
+	r.snapshot = r.snapshot[:0]
 }
 
 // Observe records one stream character.
@@ -55,12 +92,7 @@ func (r *CaptureRing) Observe(c phy.Character) {
 		r.snapshot = append(r.snapshot, c)
 		r.remaining--
 		if r.remaining == 0 {
-			r.events = append(r.events, Capture{
-				Context: r.snapshot,
-				PreLen:  len(r.snapshot) - r.post,
-			})
-			r.capturing = false
-			r.snapshot = nil
+			r.finishCapture()
 		}
 	}
 	r.pre[r.head] = c
@@ -87,12 +119,7 @@ func (r *CaptureRing) ObserveBatch(chars []phy.Character) {
 		r.snapshot = append(r.snapshot, chars[:take]...)
 		r.remaining -= take
 		if r.remaining == 0 {
-			r.events = append(r.events, Capture{
-				Context: r.snapshot,
-				PreLen:  len(r.snapshot) - r.post,
-			})
-			r.capturing = false
-			r.snapshot = nil
+			r.finishCapture()
 		}
 	}
 	if n >= len(r.pre) {
@@ -127,24 +154,29 @@ func (r *CaptureRing) MarkInjection() {
 	}
 	r.capturing = true
 	r.remaining = r.post
-	r.snapshot = append(r.snapshot, r.preContents()...)
-}
-
-func (r *CaptureRing) preContents() []phy.Character {
-	if !r.full {
-		return append([]phy.Character(nil), r.pre[:r.head]...)
+	if r.full {
+		r.snapshot = append(r.snapshot[:0], r.pre[r.head:]...)
+		r.snapshot = append(r.snapshot, r.pre[:r.head]...)
+	} else {
+		r.snapshot = append(r.snapshot[:0], r.pre[:r.head]...)
 	}
-	out := make([]phy.Character, 0, len(r.pre))
-	out = append(out, r.pre[r.head:]...)
-	return append(out, r.pre[:r.head]...)
 }
 
-// Events returns the completed captures.
+// Events returns the completed captures. The slice and its Context buffers
+// are owned by the ring and valid until the next Reset.
 func (r *CaptureRing) Events() []Capture { return r.events }
 
-// Reset discards all completed captures and any in-progress one.
+// DroppedEvents reports how many completed captures were discarded because
+// the event store was full.
+func (r *CaptureRing) DroppedEvents() uint64 { return r.dropped }
+
+// Reset discards all completed captures and any in-progress one, keeping
+// the recycled storage.
 func (r *CaptureRing) Reset() {
-	r.events = nil
+	r.events = r.events[:0]
+	r.dropped = 0
 	r.capturing = false
-	r.snapshot = nil
+	if r.snapshot != nil {
+		r.snapshot = r.snapshot[:0]
+	}
 }

@@ -95,6 +95,59 @@ func TestCaptureRingReset(t *testing.T) {
 	}
 }
 
+// The event store is bounded: past DefaultCaptureEvents completed captures,
+// new ones are dropped (and counted) instead of growing the store, and the
+// stored records keep their contents.
+func TestCaptureRingEventBound(t *testing.T) {
+	r := NewCaptureRing(2, 2)
+	inject := func(tag byte) {
+		r.Observe(phy.DataChar(tag))
+		r.Observe(phy.DataChar(tag))
+		r.MarkInjection()
+		r.Observe(phy.DataChar(tag))
+		r.Observe(phy.DataChar(tag))
+	}
+	for i := 0; i < DefaultCaptureEvents+5; i++ {
+		inject(byte(i))
+	}
+	if got := len(r.Events()); got != DefaultCaptureEvents {
+		t.Fatalf("events = %d, want bound %d", got, DefaultCaptureEvents)
+	}
+	if got := r.DroppedEvents(); got != 5 {
+		t.Fatalf("dropped = %d, want 5", got)
+	}
+	// Drop-new: the survivors are the first DefaultCaptureEvents captures.
+	for i, ev := range r.Events() {
+		if ev.Context[0].Byte() != byte(i) {
+			t.Fatalf("event %d context starts with %d, want %d", i, ev.Context[0].Byte(), i)
+		}
+	}
+	r.Reset()
+	if len(r.Events()) != 0 || r.DroppedEvents() != 0 {
+		t.Fatal("Reset did not clear events and drop counter")
+	}
+}
+
+// Reset recycles event storage: a full fill-reset-fill cycle reuses the
+// slots and their Context buffers instead of reallocating them.
+func TestCaptureRingStorageRecycled(t *testing.T) {
+	r := NewCaptureRing(2, 2)
+	fill := func() {
+		for i := 0; i < DefaultCaptureEvents; i++ {
+			r.Observe(phy.DataChar(1))
+			r.Observe(phy.DataChar(2))
+			r.MarkInjection()
+			r.Observe(phy.DataChar(3))
+			r.Observe(phy.DataChar(4))
+		}
+	}
+	fill()
+	r.Reset()
+	if avg := testing.AllocsPerRun(5, func() { fill(); r.Reset() }); avg != 0 {
+		t.Errorf("warmed fill cycle allocates %.2f objects, want 0", avg)
+	}
+}
+
 func TestCaptureGeometryValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -339,7 +339,7 @@ func (e *Engine) push(c phy.Character) {
 		// to slack first. Guard against misuse.
 		panic("core: FIFO overflow")
 	}
-	pos := (e.head + e.count) % len(e.fifo)
+	pos := (e.head + e.count) & (len(e.fifo) - 1)
 	e.fifo[pos] = fifoEntry{ch: c}
 	e.count++
 	// Shift the original character into the compare register and record
@@ -354,7 +354,7 @@ func (e *Engine) push(c phy.Character) {
 // it like any other injection.
 func (e *Engine) popOne() (phy.Character, bool) {
 	entry := e.fifo[e.head]
-	e.head = (e.head + 1) % len(e.fifo)
+	e.head = (e.head + 1) & (len(e.fifo) - 1)
 	e.count--
 
 	if entry.corrupted || entry.dropped {

@@ -10,6 +10,24 @@ import (
 // block-RAM transition ROM on the paper's FPGA class could hold.
 const DefaultMaxDFAStates = 1024
 
+// PrefilterMode selects the batch prefilter engine (see prefilter.go).
+type PrefilterMode int
+
+const (
+	// PrefilterAuto compiles a screen when it would pay: prefixes longer
+	// than one symbol and starter classes covering at most half the symbol
+	// space; it picks shift-and or the reduced prefix-DFA by size.
+	PrefilterAuto PrefilterMode = iota
+	// PrefilterOff disables the screen; StepBatch falls back to the
+	// quiet-run path.
+	PrefilterOff
+	// PrefilterShiftAnd forces the bit-parallel engine.
+	PrefilterShiftAnd
+	// PrefilterReduced forces the budgeted approximate-DFA engine (falling
+	// back to shift-and only if no truncation fits the budget).
+	PrefilterReduced
+)
+
 // Options parameterizes compilation.
 type Options struct {
 	// MaxDFAStates is the subset-construction state budget; zero selects
@@ -19,6 +37,11 @@ type Options struct {
 	// ForceLanes skips the DFA entirely (benchmarking the fallback, or
 	// bounding memory).
 	ForceLanes bool
+	// Prefilter selects the batch screen engine; the zero value is auto.
+	Prefilter PrefilterMode
+	// PrefilterBudget bounds the reduced prefix-DFA's subset construction;
+	// zero selects DefaultPrefilterStates.
+	PrefilterBudget int
 }
 
 // nfaState is one Thompson-style state. Each state has at most one
@@ -54,6 +77,10 @@ type Program struct {
 	dfaStates int
 
 	nfaStates int
+
+	// prefilter is the compiled batch screen; nil when off or judged
+	// useless (see compilePrefilter).
+	prefilter *Prefilter
 }
 
 // ProgramStats summarizes the compiled form, for resource estimation
@@ -96,6 +123,7 @@ func Compile(rs []Rule, opts Options) (*Program, error) {
 	if !opts.ForceLanes {
 		p.buildDFA(budget) // leaves dfaTable nil past the budget
 	}
+	p.prefilter = compilePrefilter(p.rules, opts)
 	return p, nil
 }
 
@@ -240,13 +268,28 @@ func normalize(set []int32) []int32 {
 // program is left in lane mode.
 func (p *Program) buildDFA(budget int) {
 	nfa, starts := p.globalNFA()
+	table, accept, sets, ok := subsetConstruct(nfa, starts, budget)
+	if !ok {
+		return // blown budget: stay in lane mode
+	}
+	p.dfaStates = len(sets)
+	p.dfaTable = table
+	p.dfaAccept = accept
+}
+
+// subsetConstruct determinizes an NFA under a state budget. It serves both
+// the exact rule DFA and the prefilter's reduced prefix-DFA: the returned
+// sets (the NFA members of each DFA state) let callers derive per-state
+// metadata such as the prefilter's viable-partial depth. ok is false when
+// the budget blew, with the partial results discarded.
+func subsetConstruct(nfa []nfaState, starts []int32, budget int) (table []int32, accept []uint64, sets [][]int32, ok bool) {
 	b := &dfaBuilder{nfa: nfa, ids: make(map[string]int32)}
 	b.intern(normalize(append([]int32(nil), starts...)))
 
 	// The transition table grows row by row in its final backing array —
 	// one geometric-growth allocation chain instead of a 2KB row per state
 	// plus a final copy.
-	table := make([]int32, 0, 4*SymbolSpace)
+	table = make([]int32, 0, 4*SymbolSpace)
 	for si := 0; si < len(b.sets); si++ {
 		S := b.sets[si]
 		base := make([]int32, 0, len(S)+4)
@@ -295,13 +338,10 @@ func (p *Program) buildDFA(budget int) {
 		}
 		b.touched = b.touched[:0]
 		if len(b.sets) > budget {
-			return // blown budget: stay in lane mode
+			return nil, nil, nil, false
 		}
 	}
-
-	p.dfaStates = len(b.sets)
-	p.dfaTable = table
-	p.dfaAccept = b.accept
+	return table, b.accept, b.sets, true
 }
 
 // NumRules returns the rule count.
@@ -316,6 +356,10 @@ func (p *Program) Rules() []Rule { return p.rules }
 
 // UsesDFA reports whether subset construction fit the budget.
 func (p *Program) UsesDFA() bool { return p.dfaTable != nil }
+
+// Prefilter returns the compiled batch screen, or nil when none executes
+// (mode off, or the auto heuristic judged one useless for this rule set).
+func (p *Program) Prefilter() *Prefilter { return p.prefilter }
 
 // Stats summarizes the compiled form.
 func (p *Program) Stats() ProgramStats {

@@ -106,14 +106,29 @@ func (e *Executor) SkipQuiet(n int) { e.symbols += uint64(n) }
 
 // StepBatch consumes a run of symbols and returns the OR of the fire masks
 // the per-symbol Step calls would have produced. While the automaton sits in
-// its start configuration, runs of quiet symbols are consumed in bulk; the
-// per-symbol path re-engages at the first symbol that could begin a match
-// and stays engaged until the automaton returns to start.
+// its start configuration the program's prefilter screens the run: spans it
+// proves unable to complete any rule's prefix are consumed in bulk, and the
+// exact per-symbol path wakes only around prefilter hits (rewound by the
+// maximum prefix length) and held-back partials at the run's end. Without a
+// prefilter, runs of quiet symbols are consumed in bulk instead; either way
+// the per-symbol path stays engaged until the automaton returns to start.
 func (e *Executor) StepBatch(syms []uint16) uint64 {
 	var fired uint64
 	i, n := 0, len(syms)
+	pf := e.p.prefilter
 	for i < n {
 		if e.InStart() {
+			if pf != nil {
+				clean, hold := pf.ScanClean(syms[i:])
+				if clean > 0 {
+					e.symbols += uint64(clean)
+					i += clean
+				}
+				for end := i + hold; i < end; i++ {
+					fired |= e.Step(syms[i])
+				}
+				continue
+			}
 			j := i
 			for j < n {
 				s := syms[j] & SymbolMask

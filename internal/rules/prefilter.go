@@ -1,0 +1,383 @@
+package rules
+
+import "math/bits"
+
+// Multi-pattern prefilter: a cheap screen compiled from every rule's literal
+// prefix, run over whole batch runs so the exact DFA/lane executor wakes only
+// around positions where some rule could actually be completing its opening
+// symbols. The idea follows the approximate-NFA DPI literature: the screen is
+// false-positive-only — it may wake the exact engine spuriously, but a stream
+// position it clears provably cannot complete any rule's registered prefix,
+// and therefore cannot be inside the prefix span of any accepting run.
+//
+// Two engines cover the size range:
+//
+//   - shift-and: every deduplicated prefix gets a contiguous run of bit
+//     positions; a per-symbol row table B[s] carries class tokens natively
+//     (no wildcard expansion), and one masked shift per symbol advances all
+//     partials at once. At most MaxRules x prefixCap = 256 positions, so the
+//     state is at most four words.
+//   - reduced prefix-DFA: subset construction over the prefix-only NFA under
+//     a state budget (the "budgeted approximate-DFA reduction"), with a
+//     prefix-truncation ladder when the budget blows. One table lookup per
+//     symbol regardless of rule count.
+//
+// Soundness notes the executor relies on (see Executor.StepBatch and the
+// injector's planScan):
+//
+//   - A rule's registered prefix is its leading run of Gap==0 steps, capped
+//     at prefixCap (Validate rejects a gap before the first step, so every
+//     rule registers at least one token). An accepting run must consume its
+//     rule's full step sequence, and in particular the registered prefix
+//     contiguously — so every accept position is preceded by a prefix
+//     completion the screen reports.
+//   - Dedupe keeps a prefix P and drops Q only when P's tokens are exactly
+//     Q's leading tokens, so every completion of Q completes P at the same
+//     position: hits are preserved, only duplicates go.
+//   - On a hit ending at position p, rewinding to p-MaxLen()+1 covers every
+//     prefix completion at or before p; positions cleared earlier hold no
+//     viable partial (dead partials never accept).
+
+// prefixCap bounds how many leading concrete symbols of a rule are compiled
+// into the prefilter.
+const prefixCap = 4
+
+// pfMaxWords is the shift-and state width: MaxRules*prefixCap bit positions.
+const pfMaxWords = MaxRules * prefixCap / 64
+
+// DefaultPrefilterStates bounds the reduced prefix-DFA's subset construction;
+// small compared to the exact DFA budget because the screen only ever tracks
+// prefix progress.
+const DefaultPrefilterStates = 256
+
+// prefixToken is one prefix symbol class: matches sym when (sym^cmp)&mask==0.
+// cmp is stored pre-masked so token equality is class equality.
+type prefixToken struct {
+	cmp, mask uint16
+}
+
+func (t prefixToken) matches(sym uint16) bool { return (sym^t.cmp)&t.mask == 0 }
+
+// Prefilter is the compiled screen. Immutable after compile and shared
+// across executor clones, like the Program that owns it.
+type Prefilter struct {
+	prefixes [][]prefixToken // deduplicated, for stats and tests
+	maxLen   int
+	starter  [SymbolSpace / 64]uint64
+	starters int
+
+	// shift-and tables (always built; the fallback engine).
+	words int
+	rows  []uint64 // SymbolSpace x words, row-major by symbol
+	ini   [pfMaxWords]uint64
+	hitm  [pfMaxWords]uint64
+	depth []uint8 // bit position -> symbols consumed (1-based)
+
+	// reduced prefix-DFA tables; acTable nil selects shift-and.
+	acTable  []int32
+	acAccept []uint64
+	acDepth  []uint8
+	acStates int
+}
+
+// PrefilterStats summarizes the compiled screen.
+type PrefilterStats struct {
+	// Prefixes is the deduplicated prefix count; MaxLen the longest kept
+	// prefix (the hit-rewind distance).
+	Prefixes int
+	MaxLen   int
+	// Starters is how many of the 512 symbols can begin some prefix.
+	Starters int
+	// Words is the shift-and state width in 64-bit words; Positions the
+	// occupied bit positions.
+	Words     int
+	Positions int
+	// States is the reduced prefix-DFA size, zero when shift-and executes.
+	States int
+	// Engine is "shift-and" or "reduced-dfa".
+	Engine string
+}
+
+// extractPrefix returns a rule's literal prefix: the first step followed by
+// subsequent steps while their Gap is zero, capped at prefixCap.
+func extractPrefix(r *Rule) []prefixToken {
+	toks := make([]prefixToken, 0, prefixCap)
+	for j, st := range r.Steps {
+		if j > 0 && st.Gap != 0 {
+			break
+		}
+		mask := st.Mask & SymbolMask
+		toks = append(toks, prefixToken{cmp: st.Sym & mask, mask: mask})
+		if len(toks) == prefixCap {
+			break
+		}
+	}
+	return toks
+}
+
+// prefixTrie deduplicates prefixes by exact token class, with leading-prefix
+// subsumption: inserting past a terminal node is a no-op (the shorter prefix
+// already covers every completion), and marking a node terminal prunes the
+// longer prefixes beneath it.
+type prefixTrie struct {
+	nodes []trieNode
+}
+
+type trieNode struct {
+	tok      prefixToken
+	children []int32
+	terminal bool
+}
+
+func newPrefixTrie() *prefixTrie {
+	return &prefixTrie{nodes: make([]trieNode, 1)} // node 0 is the root
+}
+
+func (t *prefixTrie) insert(toks []prefixToken) {
+	cur := int32(0)
+	for _, tok := range toks {
+		if t.nodes[cur].terminal {
+			return // subsumed by a shorter prefix already kept
+		}
+		next := int32(-1)
+		for _, c := range t.nodes[cur].children {
+			if t.nodes[c].tok == tok {
+				next = c
+				break
+			}
+		}
+		if next < 0 {
+			next = int32(len(t.nodes))
+			t.nodes = append(t.nodes, trieNode{tok: tok})
+			t.nodes[cur].children = append(t.nodes[cur].children, next)
+		}
+		cur = next
+	}
+	t.nodes[cur].terminal = true
+	t.nodes[cur].children = nil // prune subsumed longer prefixes
+}
+
+// collect returns the kept prefixes, root-to-terminal, insertion-ordered
+// within each subtree.
+func (t *prefixTrie) collect() [][]prefixToken {
+	var out [][]prefixToken
+	var path []prefixToken
+	var walk func(n int32)
+	walk = func(n int32) {
+		node := &t.nodes[n]
+		if n != 0 {
+			path = append(path, node.tok)
+		}
+		if node.terminal {
+			out = append(out, append([]prefixToken(nil), path...))
+		} else {
+			for _, c := range node.children {
+				walk(c)
+			}
+		}
+		if n != 0 {
+			path = path[:len(path)-1]
+		}
+	}
+	walk(0)
+	return out
+}
+
+// dedupePrefixes truncates every prefix to cap symbols and folds the set
+// through the trie.
+func dedupePrefixes(prefixes [][]prefixToken, limit int) [][]prefixToken {
+	t := newPrefixTrie()
+	for _, p := range prefixes {
+		if len(p) > limit {
+			p = p[:limit]
+		}
+		t.insert(p)
+	}
+	return t.collect()
+}
+
+// compilePrefilter builds the screen for a validated rule set, or returns nil
+// when the requested mode is off or the auto heuristic judges a screen
+// useless (starter classes covering most of the symbol space, or no prefix
+// longer than one symbol — the quiet-set path already handles those).
+func compilePrefilter(rs []Rule, opts Options) *Prefilter {
+	if opts.Prefilter == PrefilterOff {
+		return nil
+	}
+	raw := make([][]prefixToken, len(rs))
+	for i := range rs {
+		raw[i] = extractPrefix(&rs[i])
+	}
+	pf := &Prefilter{prefixes: dedupePrefixes(raw, prefixCap)}
+	for _, p := range pf.prefixes {
+		if len(p) > pf.maxLen {
+			pf.maxLen = len(p)
+		}
+		first := p[0]
+		for s := 0; s < SymbolSpace; s++ {
+			if first.matches(uint16(s)) {
+				pf.starter[s>>6] |= 1 << uint(s&63)
+			}
+		}
+	}
+	for _, w := range pf.starter {
+		pf.starters += bits.OnesCount64(w)
+	}
+	if opts.Prefilter == PrefilterAuto &&
+		(pf.maxLen < 2 || 2*pf.starters > SymbolSpace) {
+		return nil
+	}
+	pf.buildShiftAnd()
+	budget := opts.PrefilterBudget
+	if budget <= 0 {
+		budget = DefaultPrefilterStates
+	}
+	switch opts.Prefilter {
+	case PrefilterShiftAnd:
+		// shift-and only
+	case PrefilterReduced:
+		pf.buildReduced(budget)
+	default: // auto: one table load beats a multi-word shift when it fits
+		if pf.words > 2 {
+			pf.buildReduced(budget)
+		}
+	}
+	return pf
+}
+
+// buildShiftAnd lays the deduplicated prefixes into contiguous bit positions.
+// Prefix boundaries need no masking: a bit shifted past a prefix's last
+// position lands on the next prefix's first position, which the per-step
+// initial-position injection sets anyway.
+func (pf *Prefilter) buildShiftAnd() {
+	total := 0
+	for _, p := range pf.prefixes {
+		total += len(p)
+	}
+	pf.words = (total + 63) / 64
+	pf.rows = make([]uint64, SymbolSpace*pf.words)
+	pf.depth = make([]uint8, pf.words*64)
+	pf.ini = [pfMaxWords]uint64{}
+	pf.hitm = [pfMaxWords]uint64{}
+	pos := 0
+	for _, p := range pf.prefixes {
+		pf.ini[pos>>6] |= 1 << uint(pos&63)
+		for j, tok := range p {
+			b := pos + j
+			pf.depth[b] = uint8(j + 1)
+			for s := 0; s < SymbolSpace; s++ {
+				if tok.matches(uint16(s)) {
+					pf.rows[s*pf.words+(b>>6)] |= 1 << uint(b&63)
+				}
+			}
+		}
+		last := pos + len(p) - 1
+		pf.hitm[last>>6] |= 1 << uint(last&63)
+		pos += len(p)
+	}
+}
+
+// buildReduced subset-constructs the prefix-only NFA under the state budget,
+// walking a truncation ladder (shorter prefixes, smaller automaton) when the
+// budget blows. All-caps-blown leaves the shift-and engine in charge.
+func (pf *Prefilter) buildReduced(budget int) {
+	for limit := pf.maxLen; limit >= 1; limit-- {
+		prefixes := pf.prefixes
+		if limit < pf.maxLen {
+			prefixes = dedupePrefixes(pf.prefixes, limit)
+		}
+		nfa, starts, depths := prefixNFA(prefixes)
+		table, accept, sets, ok := subsetConstruct(nfa, starts, budget)
+		if !ok {
+			continue
+		}
+		pf.acTable = table
+		pf.acAccept = accept
+		pf.acStates = len(sets)
+		pf.acDepth = make([]uint8, len(sets))
+		for i, set := range sets {
+			var d uint8
+			for _, s := range set {
+				if depths[s] > d {
+					d = depths[s]
+				}
+			}
+			pf.acDepth[i] = d
+		}
+		if limit < pf.maxLen {
+			// The executing engine only tracks truncated prefixes; rewind
+			// and holdback distances — and the shift-and tables, should a
+			// caller inspect them — must match it.
+			pf.maxLen = limit
+			pf.prefixes = prefixes
+			pf.buildShiftAnd()
+		}
+		return
+	}
+}
+
+// prefixNFA lowers prefixes to Thompson states for subset construction: one
+// unanchored start per prefix (nfaState carries at most one consuming
+// transition) followed by its token chain; the last state accepts. depths[s]
+// is how many prefix symbols state s has consumed.
+func prefixNFA(prefixes [][]prefixToken) (nfa []nfaState, starts []int32, depths []uint8) {
+	blank := nfaState{matchNext: -1, anyNext: -1, accept: -1}
+	for _, p := range prefixes {
+		start := int32(len(nfa))
+		starts = append(starts, start)
+		s := blank
+		s.selfAny = true
+		nfa = append(nfa, s)
+		depths = append(depths, 0)
+		cur := start
+		for j, tok := range p {
+			post := blank
+			if j == len(p)-1 {
+				post.accept = 0 // any accept bit means "hit"
+			}
+			// A mask-0 token fires on any symbol — the same convention the
+			// exact NFA simulator and subset construction use.
+			nfa[cur].cmp = tok.cmp
+			nfa[cur].mask = tok.mask
+			next := int32(len(nfa))
+			nfa[cur].matchNext = next
+			nfa = append(nfa, post)
+			depths = append(depths, uint8(j+1))
+			cur = next
+		}
+	}
+	return nfa, starts, depths
+}
+
+// Starter reports whether sym can begin some rule's prefix. The injector's
+// batch plan folds this into its wake table: non-starters extend skip runs
+// even though they are not in the executor's conservative quiet set.
+func (pf *Prefilter) Starter(sym uint16) bool {
+	s := sym & SymbolMask
+	return pf.starter[s>>6]&(1<<uint(s&63)) != 0
+}
+
+// MaxLen is the longest registered prefix: the hit-rewind and buffer-tail
+// holdback distance.
+func (pf *Prefilter) MaxLen() int { return pf.maxLen }
+
+// Stats summarizes the compiled screen.
+func (pf *Prefilter) Stats() PrefilterStats {
+	total := 0
+	for _, p := range pf.prefixes {
+		total += len(p)
+	}
+	st := PrefilterStats{
+		Prefixes:  len(pf.prefixes),
+		MaxLen:    pf.maxLen,
+		Starters:  pf.starters,
+		Words:     pf.words,
+		Positions: total,
+		Engine:    "shift-and",
+	}
+	if pf.acTable != nil {
+		st.States = pf.acStates
+		st.Engine = "reduced-dfa"
+	}
+	return st
+}

@@ -28,7 +28,21 @@ func checkStepBatchCase(t *testing.T, data []byte) {
 		}
 	}
 
-	for _, opts := range []Options{{MaxDFAStates: 64}, {ForceLanes: true}} {
+	// The three-way differential: prefilter off, forced shift-and, forced
+	// reduced-DFA (including a starved budget that exercises the truncation
+	// ladder), over both exact-engine forms. Auto mode rides along as the
+	// first two entries' default. Rule sets with no usable literal prefix —
+	// wildcard first steps — flow through the same cases; auto declines the
+	// screen for them and forced modes must still agree.
+	for _, opts := range []Options{
+		{MaxDFAStates: 64},
+		{ForceLanes: true},
+		{MaxDFAStates: 64, Prefilter: PrefilterOff},
+		{MaxDFAStates: 64, Prefilter: PrefilterShiftAnd},
+		{ForceLanes: true, Prefilter: PrefilterShiftAnd},
+		{MaxDFAStates: 64, Prefilter: PrefilterReduced},
+		{MaxDFAStates: 64, Prefilter: PrefilterReduced, PrefilterBudget: 4},
+	} {
 		p, err := Compile(rs, opts)
 		if err != nil {
 			return // invalid rule set; the compile fuzzer owns that path
