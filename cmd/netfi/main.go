@@ -14,11 +14,19 @@
 //	netfi monitor      monitoring plane: accrual detection + flow export
 //	netfi chaos        snapshot/fork chaos sweep: warm one testbed, fork it
 //	                   per k-failure scenario, triage every fork
-//	netfi all          everything above in order
+//	netfi fabric       sharded multi-switch fabric: build a Clos from
+//	                   -switches/-hosts, run the flood workload across
+//	                   -shards parallel event kernels, report throughput
+//	netfi all          everything above in order (fabric excluded — its
+//	                   shape is set by its own flags, not -scale)
 //
 // Flags:
 //
 //	-seed N        simulation seed (default 1)
+//	-switches N    fabric switch count (fabric only, default 16)
+//	-hosts N       fabric host count (fabric only, default 64)
+//	-shards N      fabric shard count (fabric only, default: one per CPU;
+//	               output is byte-identical across shard counts)
 //	-json          machine-readable output (resilience, monitor, chaos):
 //	               detection-latency CDFs, per-trial triage, flow summaries
 //	-scale F       scale experiment durations/rounds toward the paper's full
@@ -42,6 +50,7 @@ import (
 	"netfi/internal/campaign"
 	"netfi/internal/sim"
 	"netfi/internal/synth"
+	"netfi/internal/topo"
 )
 
 func main() {
@@ -53,6 +62,10 @@ type expOpts struct {
 	seed    int64
 	scale   float64
 	workers int
+	// fabric shape (netfi fabric only)
+	switches int
+	hosts    int
+	shards   int
 }
 
 func run(args []string) int {
@@ -60,14 +73,25 @@ func run(args []string) int {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	scale := fs.Float64("scale", 1.0, "scale experiment length toward the paper's full runs")
 	workers := fs.Int("workers", campaign.DefaultWorkers(), "worker goroutines for campaign trials (1 = serial)")
+	switches := fs.Int("switches", 16, "fabric switch count (fabric only)")
+	hosts := fs.Int("hosts", 64, "fabric host count (fabric only)")
+	shards := fs.Int("shards", campaign.DefaultWorkers(), "fabric shard count (fabric only)")
 	jsonOut := fs.Bool("json", false, "machine-readable output (resilience, monitor, chaos)")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := fs.String("memprofile", "", "write heap profile to file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: netfi [-seed N] [-scale F] [-workers N] [-json] [-cpuprofile F] [-memprofile F] <table1|table2|table4|sec431|sec432|sec433|sec434|passthrough|multirule|resilience|monitor|chaos|all>")
+	// Flags are accepted on either side of the experiment name:
+	// `netfi -seed 2 chaos` and `netfi fabric -switches 128` both work.
+	rest := fs.Args()
+	if len(rest) >= 1 {
+		if err := fs.Parse(rest[1:]); err != nil {
+			return 2
+		}
+	}
+	if len(rest) < 1 || fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: netfi [-seed N] [-scale F] [-workers N] [-switches N] [-hosts N] [-shards N] [-json] [-cpuprofile F] [-memprofile F] <table1|table2|table4|sec431|sec432|sec433|sec434|passthrough|multirule|resilience|monitor|chaos|fabric|all>")
 		return 2
 	}
 
@@ -99,7 +123,10 @@ func run(args []string) int {
 		}()
 	}
 
-	opts := expOpts{seed: *seed, scale: *scale, workers: *workers}
+	opts := expOpts{
+		seed: *seed, scale: *scale, workers: *workers,
+		switches: *switches, hosts: *hosts, shards: *shards,
+	}
 	cmds := map[string]func(expOpts) string{
 		"table1":      table1,
 		"table2":      table2,
@@ -113,8 +140,9 @@ func run(args []string) int {
 		"resilience":  resilience,
 		"monitor":     monitorSection,
 		"chaos":       chaosSection,
+		"fabric":      fabricSection,
 	}
-	name := fs.Arg(0)
+	name := rest[0]
 	if *jsonOut {
 		out, err := jsonReport(name, opts)
 		if err != nil {
@@ -239,6 +267,25 @@ func chaosSection(o expOpts) string {
 	res := campaign.RunChaos(chaosOptions(o))
 	return "Chaos sweep: warm-once testbed forked per k-failure scenario\n" +
 		campaign.FormatChaos(res)
+}
+
+// fabricSection runs one sharded-fabric flood to quiescence. The topology
+// shape comes from the fabric flags, not -scale: a fabric's cost grows with
+// switches*hosts, which the flags express directly.
+func fabricSection(o expOpts) string {
+	res, err := campaign.RunFabric(campaign.FabricConfig{
+		Topo: topo.Config{
+			Switches: o.switches,
+			Hosts:    o.hosts,
+			Shards:   o.shards,
+			Seed:     o.seed,
+		},
+	})
+	if err != nil {
+		return fmt.Sprintf("fabric: %v\n", err)
+	}
+	return "Sharded fabric: parallel per-core event kernels, conservative lookahead\n" +
+		campaign.FormatFabric(res)
 }
 
 func monitorSection(o expOpts) string {

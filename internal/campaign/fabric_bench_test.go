@@ -1,0 +1,54 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"netfi/internal/sim"
+	"netfi/internal/topo"
+)
+
+// BenchmarkFabricSharded is the sharded-fabric headline: simulated
+// symbols/sec on a 128-switch/1024-host Clos under the flood workload,
+// single shard vs multi-shard. On a multicore box the shard count buys
+// wall-clock speedup; on the known 1-CPU bench container the sub-benchmarks
+// instead measure the coordinator's overhead (the recorded num_cpu /
+// gomaxprocs metadata in BENCH_*.json says which reading applies). The
+// byte-identity of the shard counts is pinned separately by
+// TestFabricShardEquivalence.
+func BenchmarkFabricSharded(b *testing.B) {
+	shardCounts := []int{1, 2}
+	if n := runtime.GOMAXPROCS(0); n > 2 {
+		shardCounts = append(shardCounts, n)
+	} else {
+		shardCounts = append(shardCounts, 4)
+	}
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("%dshards", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var symbols, events uint64
+			for i := 0; i < b.N; i++ {
+				res, err := RunFabric(FabricConfig{
+					Topo:    topo.Config{Switches: 128, Hosts: 1024, Shards: shards, Seed: 42},
+					Packets: 4,
+					Payload: 64,
+					Gap:     5 * sim.Microsecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Drained {
+					b.Fatal("fabric did not drain")
+				}
+				symbols += res.Symbols
+				events += res.Events
+			}
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(symbols)/secs/1e6, "Msymbols/s")
+				b.ReportMetric(float64(events)/secs/1e6, "Mevents/s")
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"netfi/internal/sim"
+	"netfi/internal/topo"
+)
+
+// runFabricFingerprint builds, runs, and fingerprints one fabric config.
+func runFabricFingerprint(t *testing.T, cfg FabricConfig) (string, *FabricTestbed) {
+	t.Helper()
+	tb, err := NewFabricTestbed(cfg)
+	if err != nil {
+		t.Fatalf("NewFabricTestbed: %v", err)
+	}
+	defer tb.Close()
+	tb.Run()
+	return fabricFingerprint(tb), tb
+}
+
+// TestFabricShardEquivalence is the small-fabric equivalence gate: a
+// 2-switch/4-host fabric run sharded at 1, 2, and 4 shards must produce a
+// byte-identical full-state fingerprint — STAT counters on every switch
+// port and interface, link totals, flow records, per-host receive event
+// logs, and the coordinator's clock/event/window/exchange counters — across
+// 20 seeds and both workloads. Shards=1 is the single-kernel path (one
+// sim.Kernel executes everything); 2 and 4 split the fabric across real
+// parallel kernels, 4 finer than the switch count.
+func TestFabricShardEquivalence(t *testing.T) {
+	for _, workload := range []FabricWorkload{WorkloadFlood, WorkloadPingPong} {
+		for seed := int64(0); seed < 20; seed++ {
+			var base string
+			var baseTB *FabricTestbed
+			for _, shards := range []int{1, 2, 4} {
+				cfg := FabricConfig{
+					Topo:     topo.Config{Switches: 2, Hosts: 4, Shards: shards, Seed: seed},
+					Workload: workload,
+					Packets:  5,
+					Payload:  48,
+					Gap:      2 * sim.Microsecond,
+					Record:   true,
+				}
+				fp, tb := runFabricFingerprint(t, cfg)
+				if shards == 1 {
+					base, baseTB = fp, tb
+					if len(tb.F.Kernels) != 1 {
+						t.Fatalf("shards=1 built %d kernels", len(tb.F.Kernels))
+					}
+					continue
+				}
+				if len(tb.F.Kernels) != shards {
+					t.Fatalf("shards=%d built %d kernels", shards, len(tb.F.Kernels))
+				}
+				if fp != base {
+					t.Fatalf("workload=%s seed=%d shards=%d fingerprint diverges from single-kernel run:\n%s",
+						workload, seed, shards, diffFirstLine(base, fp))
+				}
+			}
+			// The gate must gate something: traffic flowed and crossed
+			// the (channelized) cables.
+			sent, delivered, _ := baseTB.Totals()
+			if sent == 0 || delivered == 0 {
+				t.Fatalf("workload=%s seed=%d: no traffic (sent=%d delivered=%d)", workload, seed, sent, delivered)
+			}
+			if baseTB.F.Group.Exchanged() == 0 {
+				t.Fatalf("workload=%s seed=%d: no deliveries crossed the exchange", workload, seed)
+			}
+		}
+	}
+}
+
+// TestFabricClosEquivalence extends the gate to a multi-stage Clos: 16
+// switches (2 spines, 14 leaves), 56 hosts, sharded 1 vs 5 vs 16.
+func TestFabricClosEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		var base string
+		for _, shards := range []int{1, 5, 16} {
+			cfg := FabricConfig{
+				Topo:    topo.Config{Switches: 16, Hosts: 56, Shards: shards, Seed: seed},
+				Packets: 3,
+				Payload: 64,
+				Gap:     3 * sim.Microsecond,
+				Record:  true,
+			}
+			fp, _ := runFabricFingerprint(t, cfg)
+			if shards == 1 {
+				base = fp
+			} else if fp != base {
+				t.Fatalf("seed=%d shards=%d fingerprint diverges:\n%s", seed, shards, diffFirstLine(base, fp))
+			}
+		}
+	}
+}
+
+// diffFirstLine locates the first differing line of two fingerprints so a
+// gate failure points at the diverging counter instead of dumping both.
+func diffFirstLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "line " + al[i] + "\n  vs " + bl[i]
+		}
+	}
+	return "fingerprints differ in length"
+}
+
+func TestFabricDeliversAll(t *testing.T) {
+	res, err := RunFabric(FabricConfig{
+		Topo:    topo.Config{Switches: 16, Hosts: 64, Shards: 4, Seed: 3},
+		Packets: 4,
+		Gap:     3 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Drained {
+		t.Fatal("fabric did not run to quiescence")
+	}
+	if res.Sent != 64*4 || res.Delivered != res.Sent {
+		t.Fatalf("sent=%d delivered=%d, want 256/256", res.Sent, res.Delivered)
+	}
+	if res.Symbols == 0 || res.Windows == 0 || res.Exchanged == 0 {
+		t.Fatalf("degenerate run: symbols=%d windows=%d exchanged=%d", res.Symbols, res.Windows, res.Exchanged)
+	}
+	if len(res.ShardEvents) != 4 {
+		t.Fatalf("%d shard event counts, want 4", len(res.ShardEvents))
+	}
+	for s, n := range res.ShardEvents {
+		if n == 0 {
+			t.Fatalf("shard %d executed no events — partition left it idle", s)
+		}
+	}
+}
+
+func TestFabricPingPongCompletes(t *testing.T) {
+	tb, err := NewFabricTestbed(FabricConfig{
+		Topo:     topo.Config{Switches: 2, Hosts: 4, Shards: 2, Seed: 11},
+		Workload: WorkloadPingPong,
+		Packets:  6,
+		Gap:      2 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if !tb.Run() {
+		t.Fatal("ping-pong fabric did not drain")
+	}
+	// Each of the 2 pairs plays 6 round trips = 12 one-way messages.
+	sent, delivered, _ := tb.Totals()
+	if sent != 24 || delivered != 24 {
+		t.Fatalf("sent=%d delivered=%d, want 24/24", sent, delivered)
+	}
+}
+
+// TestFabricFormat pins the CLI report's shape (not its numbers).
+func TestFabricFormat(t *testing.T) {
+	res, err := RunFabric(FabricConfig{
+		Topo:    topo.Config{Switches: 2, Hosts: 4, Shards: 2, Seed: 1},
+		Packets: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatFabric(res)
+	for _, want := range []string{"fabric: 2 switches, 4 hosts, 2 shards", "drained=true", "symbols/s", "shard events:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

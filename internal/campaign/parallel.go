@@ -55,14 +55,12 @@ func RunTrialsErr[T any](n, workers int, fn func(trial int) T) ([]T, []error) {
 		}()
 		out[i] = fn(i)
 	}
-	if workers <= 1 || n == 1 {
+	workers = workerCount(n, workers)
+	if workers == 1 {
 		for i := 0; i < n; i++ {
 			run(i)
 		}
 		return out, errs
-	}
-	if workers > n {
-		workers = n
 	}
 	var (
 		next atomic.Int64
@@ -83,6 +81,19 @@ func RunTrialsErr[T any](n, workers int, fn func(trial int) T) ([]T, []error) {
 	}
 	wg.Wait()
 	return out, errs
+}
+
+// workerCount bounds the pool size for n trials: at most one goroutine per
+// trial (a 3-trial campaign on a 64-CPU box must not spawn 61 idle
+// workers), and at least one.
+func workerCount(n, workers int) int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
 // DefaultWorkers is the worker count campaigns use when none is specified:

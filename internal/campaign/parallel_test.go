@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -41,6 +42,50 @@ func TestRunTrialsWorkersExceedTrials(t *testing.T) {
 	got := RunTrials(2, 16, func(i int) int { return i + 10 })
 	if !reflect.DeepEqual(got, []int{10, 11}) {
 		t.Fatalf("got %v, want [10 11]", got)
+	}
+}
+
+func TestWorkerCountClamp(t *testing.T) {
+	cases := []struct{ n, workers, want int }{
+		{n: 3, workers: 64, want: 3},  // never more goroutines than trials
+		{n: 1, workers: 8, want: 1},   // single trial runs inline
+		{n: 100, workers: 4, want: 4}, // plenty of trials: keep the pool
+		{n: 5, workers: 0, want: 1},   // zero/negative means serial
+		{n: 5, workers: -2, want: 1},
+	}
+	for _, c := range cases {
+		if got := workerCount(c.n, c.workers); got != c.want {
+			t.Errorf("workerCount(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}
+
+// TestRunTrialsNoIdleWorkers observes the pool from inside the trials: with
+// far more workers requested than trials, the peak number of concurrently
+// running trials — and therefore spawned workers — must not exceed the
+// trial count.
+func TestRunTrialsNoIdleWorkers(t *testing.T) {
+	const trials = 3
+	var running, peak atomic.Int64
+	var wait sync.WaitGroup
+	wait.Add(trials)
+	RunTrials(trials, 64, func(i int) struct{} {
+		n := running.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		// Hold every trial until all have started, so a pool larger
+		// than the trial count would be caught red-handed.
+		wait.Done()
+		wait.Wait()
+		running.Add(-1)
+		return struct{}{}
+	})
+	if p := peak.Load(); p != trials {
+		t.Fatalf("peak concurrent trials = %d, want %d", p, trials)
 	}
 }
 

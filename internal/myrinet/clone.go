@@ -242,6 +242,9 @@ func (mc *MCP) clone(m *sim.Mapper, ifc2 *Interface) *MCP {
 // and MCP. The host-side data handler is rebound by the owning Node's clone;
 // the packet observer is monitoring-owned and re-registered post-fork.
 func (ifc *Interface) Clone(m *sim.Mapper) *Interface {
+	if ifc.resolver != nil {
+		panic(fmt.Sprintf("myrinet: fork: interface %s has a route resolver; fabric interfaces do not fork", ifc.cfg.Name))
+	}
 	ifc2 := &Interface{
 		k:         m.Kernel(),
 		cfg:       ifc.cfg,

@@ -34,6 +34,10 @@ type Interface struct {
 
 	// Routing.
 	routes map[MAC][]byte
+	// resolver computes a route on a table miss (large fabrics derive
+	// routes from topology instead of materializing H^2 entries). A hit
+	// is cached into routes.
+	resolver func(dst MAC) ([]byte, bool)
 
 	// MCP.
 	mcp *MCP
@@ -142,9 +146,22 @@ func (ifc *Interface) SetRoute(dst MAC, route []byte) {
 	ifc.routes[dst] = append([]byte(nil), route...)
 }
 
+// SetRouteResolver installs a fallback consulted on a routing-table miss.
+// The resolved route is cached in the table, so the resolver runs once per
+// destination. Fabric topologies use this to derive routes on demand from
+// the port mapping instead of pre-installing hosts-squared entries.
+func (ifc *Interface) SetRouteResolver(fn func(dst MAC) ([]byte, bool)) {
+	ifc.resolver = fn
+}
+
 // Route returns the source route for dst, if known.
 func (ifc *Interface) Route(dst MAC) ([]byte, bool) {
 	r, ok := ifc.routes[dst]
+	if !ok && ifc.resolver != nil {
+		if r, ok = ifc.resolver(dst); ok {
+			ifc.routes[dst] = r
+		}
+	}
 	return r, ok
 }
 
@@ -184,7 +201,7 @@ const dataHeaderLen = 12
 // error — and counts DropNoRoute — when the destination is not in the table
 // (the node was removed from the network map).
 func (ifc *Interface) Send(dst MAC, payload []byte) error {
-	route, ok := ifc.routes[dst]
+	route, ok := ifc.Route(dst)
 	if !ok {
 		ifc.ctr.Drop(DropNoRoute)
 		return fmt.Errorf("myrinet: %s has no route to %v", ifc.cfg.Name, dst)

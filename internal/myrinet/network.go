@@ -60,6 +60,27 @@ func Connect(k *sim.Kernel, cfg phy.LinkConfig, a, b Attachable) *phy.Cable {
 	return &phy.Cable{LeftToRight: linkAB, RightToLeft: linkBA}
 }
 
+// ConnectCross builds a full-duplex cable between endpoints that may live on
+// different kernels: each direction's link is constructed on the *sender's*
+// kernel (a link reads its own clock when serializing), while delivery to
+// the far side is the fabric layer's problem — it installs a DeliverySink on
+// both links so bursts cross shards through barrier exchange instead of
+// direct scheduling. With ka == kb and no sinks installed this is exactly
+// Connect.
+func ConnectCross(ka, kb *sim.Kernel, cfg phy.LinkConfig, a, b Attachable) *phy.Cable {
+	aToB := cfg
+	aToB.Name = cfg.Name + ":a2b"
+	bToA := cfg
+	bToA.Name = cfg.Name + ":b2a"
+	linkAB := phy.NewLink(ka, aToB, nullReceiver{})
+	linkBA := phy.NewLink(kb, bToA, nullReceiver{})
+	recvA := a.AttachLink(linkAB) // a transmits on linkAB
+	recvB := b.AttachLink(linkBA) // b transmits on linkBA
+	linkAB.SetDst(recvB)
+	linkBA.SetDst(recvA)
+	return &phy.Cable{LeftToRight: linkAB, RightToLeft: linkBA}
+}
+
 // Network is a convenience container for a simulated Myrinet: the kernel,
 // switches, interfaces, and the cables between them.
 type Network struct {

@@ -27,7 +27,12 @@ func (d *delivery) CloneSimArg(m *sim.Mapper) any {
 
 // Clone forks the link. The receiver rebinds at Mapper.Finish, so the
 // object it points at may be cloned before or after the link itself.
+// Channelized links (a DeliverySink installed) cannot fork: the sink closes
+// over a shard outbox the mapper has no way to re-point.
 func (l *Link) Clone(m *sim.Mapper) *Link {
+	if l.sink != nil {
+		panic(fmt.Sprintf("phy: fork: link %s has a delivery sink; channelized fabrics do not fork", l.name))
+	}
 	l2 := &Link{
 		k:            m.Kernel(),
 		name:         l.name,

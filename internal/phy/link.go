@@ -84,6 +84,7 @@ type Link struct {
 	charPeriod sim.Duration
 	propDelay  sim.Duration
 	dst        Receiver
+	sink       DeliverySink
 
 	busyUntil sim.Time
 	severed   bool
@@ -147,6 +148,14 @@ func (l *Link) SetDst(dst Receiver) {
 // the downstream side of the splice.
 func (l *Link) Dst() Receiver { return l.dst }
 
+// SetDeliverySink diverts the link's deliveries: instead of scheduling
+// dst.Receive into the link's own kernel, each burst (with its computed
+// arrival time) is handed to sink. Sharded fabrics use this to channelize
+// cables whose receiver lives on a different kernel — the sink buffers the
+// delivery until the next barrier exchange. A nil sink restores direct
+// scheduling.
+func (l *Link) SetDeliverySink(sink DeliverySink) { l.sink = sink }
+
 // Send transmits a burst. If the transmitter is still serializing a previous
 // burst the new one queues behind it (FIFO, contiguous on the wire). Send
 // copies chars, so callers may reuse the slice. It returns the time at which
@@ -176,7 +185,11 @@ func (l *Link) sendOwned(burst []Character) sim.Time {
 	arrival := end + l.propDelay
 	l.chars += uint64(len(burst))
 	l.bursts++
-	ScheduleReceive(l.k, arrival, l.dst, burst)
+	if l.sink != nil {
+		l.sink.Deliver(arrival, l.dst, burst)
+	} else {
+		ScheduleReceive(l.k, arrival, l.dst, burst)
+	}
 	return arrival
 }
 
@@ -204,7 +217,11 @@ func (l *Link) sendPriorityOwned(burst []Character) sim.Time {
 	arrival := l.k.Now() + sim.Duration(len(burst))*l.charPeriod + l.propDelay
 	l.chars += uint64(len(burst))
 	l.bursts++
-	ScheduleReceive(l.k, arrival, l.dst, burst)
+	if l.sink != nil {
+		l.sink.Deliver(arrival, l.dst, burst)
+	} else {
+		ScheduleReceive(l.k, arrival, l.dst, burst)
+	}
 	return arrival
 }
 

@@ -1,0 +1,109 @@
+package phy
+
+import (
+	"slices"
+
+	"netfi/internal/sim"
+)
+
+// Cross-shard delivery channels. A sharded fabric replaces every cable's
+// direct kernel scheduling with a ChannelEnd sink: the sending shard's link
+// computes the arrival time as usual, but the burst is buffered in the
+// sender's Outbox instead of entering a kernel. At each barrier the
+// coordinator drains all outboxes with ExchangeAll, which injects every
+// buffered delivery into its destination kernel in one global deterministic
+// order — sorted by (arrival, link rank, per-link sequence), a total order
+// because (rank, seq) is unique. The per-destination injection order is
+// therefore a pure function of the traffic, not of the partitioning, which
+// is what makes an N-shard run byte-identical to a 1-shard run.
+
+// DeliverySink receives a link's computed deliveries in place of the local
+// kernel. Implementations buffer them for a later exchange.
+type DeliverySink interface {
+	Deliver(arrival sim.Time, dst Receiver, chars []Character)
+}
+
+// Delivery is one buffered cross-shard burst.
+type Delivery struct {
+	At    sim.Time
+	Dst   Receiver
+	Chars []Character
+	Rank  int    // the sending link's global rank (unique per link)
+	Seq   uint64 // per-link send sequence; (Rank, Seq) is unique
+	K     *sim.Kernel
+}
+
+// Outbox buffers deliveries originating from one shard between barriers.
+// Only that shard's goroutine appends to it during a window; the barrier
+// handoff publishes it to the coordinator.
+type Outbox struct {
+	pending []Delivery
+}
+
+// Len reports the number of buffered deliveries.
+func (o *Outbox) Len() int { return len(o.pending) }
+
+// ChannelEnd is the DeliverySink for one direction of a channelized cable.
+// It stamps each delivery with the link's rank and a monotone sequence and
+// appends it to the sending shard's outbox, bound for the receiving shard's
+// kernel.
+type ChannelEnd struct {
+	out  *Outbox
+	dstK *sim.Kernel
+	rank int
+	seq  uint64
+}
+
+// NewChannelEnd returns a sink that buffers into out, injecting into dstK at
+// exchange time. Rank must be unique across all channel ends of a fabric
+// and assigned deterministically from topology alone.
+func NewChannelEnd(out *Outbox, dstK *sim.Kernel, rank int) *ChannelEnd {
+	return &ChannelEnd{out: out, dstK: dstK, rank: rank}
+}
+
+// Deliver implements DeliverySink.
+func (c *ChannelEnd) Deliver(arrival sim.Time, dst Receiver, chars []Character) {
+	c.out.pending = append(c.out.pending, Delivery{
+		At: arrival, Dst: dst, Chars: chars, Rank: c.rank, Seq: c.seq, K: c.dstK,
+	})
+	c.seq++
+}
+
+// ExchangeAll drains every outbox, injecting all buffered deliveries into
+// their destination kernels in global (arrival, rank, seq) order, and
+// reports how many deliveries moved. It must run at a barrier, with every
+// shard quiescent, and every delivery's arrival must be at or after its
+// destination kernel's clock (the conservative-lookahead window guarantees
+// this; the kernel panics otherwise).
+func ExchangeAll(boxes []*Outbox, scratch *[]Delivery) int {
+	all := (*scratch)[:0]
+	for _, b := range boxes {
+		all = append(all, b.pending...)
+		b.pending = b.pending[:0]
+	}
+	if len(all) > 1 {
+		slices.SortFunc(all, func(a, b Delivery) int {
+			switch {
+			case a.At != b.At:
+				if a.At < b.At {
+					return -1
+				}
+				return 1
+			case a.Rank != b.Rank:
+				return a.Rank - b.Rank
+			case a.Seq < b.Seq:
+				return -1
+			default:
+				return 1
+			}
+		})
+	}
+	for i := range all {
+		d := &all[i]
+		ScheduleReceive(d.K, d.At, d.Dst, d.Chars)
+		d.Dst, d.Chars, d.K = nil, nil, nil
+	}
+	n := len(all)
+	*scratch = all[:0]
+	return n
+}

@@ -546,6 +546,12 @@ func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now + d) }
 // Stop makes the innermost Run/RunUntil return after the current event.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// PeekNext reports the timestamp of the earliest pending event without
+// executing it. The second result is false when no events are pending.
+// Shard coordinators use this to compute the global minimum next-event time
+// that anchors each conservative-lookahead window.
+func (k *Kernel) PeekNext() (Time, bool) { return k.peek() }
+
 func (k *Kernel) peek() (Time, bool) {
 	wf := k.wheelFront()
 	hf := k.heapFront()

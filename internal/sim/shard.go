@@ -1,0 +1,188 @@
+// Conservative-lookahead coordination of multiple kernels.
+//
+// A ShardGroup advances N kernels in lockstep windows. Each window is
+// anchored at the global minimum next-event time T and extends through
+// T+lookahead-1: no shard may execute an event at or beyond T+lookahead
+// until the next barrier. The lookahead is the minimum latency of any
+// cross-shard channel (serialization of one character plus propagation
+// delay), so an event executed inside the window can only produce a
+// cross-shard delivery at T+lookahead or later — after the barrier at
+// which that delivery is exchanged and injected. This is the classic
+// Chandy-Misra-Bryant conservative synchronization, with the barrier
+// playing the role of null messages.
+//
+// Determinism: the window schedule depends only on the global set of
+// pending events, which is identical regardless of how the model is
+// partitioned, so the same simulation sharded 1, 2, or N ways executes
+// byte-identically (the fabric equivalence tests pin this down).
+package sim
+
+// ShardGroup drives a set of kernels through conservative-lookahead
+// windows separated by exchange barriers.
+//
+// The zero value is not usable; construct with NewShardGroup.
+type ShardGroup struct {
+	kernels   []*Kernel
+	lookahead Duration
+
+	// exchange drains every shard's outbox into its peers' kernels at a
+	// barrier. It runs with all shards quiescent and must inject events
+	// in a deterministic order; it returns the number of deliveries
+	// moved. Set by the fabric layer via SetExchange.
+	exchange func() int
+
+	windows   uint64
+	exchanged uint64
+
+	// Worker machinery for len(kernels) > 1. Worker i owns kernels[i+1]
+	// exclusively between the channel handoffs; kernel 0 runs on the
+	// coordinating goroutine so a 1-shard group has zero concurrency.
+	cmd  []chan Time
+	done chan struct{}
+}
+
+// NewShardGroup returns a coordinator over the given kernels. The lookahead
+// must be positive: it is the guaranteed minimum virtual-time latency of any
+// cross-shard interaction.
+func NewShardGroup(kernels []*Kernel, lookahead Duration) *ShardGroup {
+	if len(kernels) == 0 {
+		panic("sim: ShardGroup needs at least one kernel")
+	}
+	if lookahead <= 0 {
+		panic("sim: ShardGroup lookahead must be positive")
+	}
+	g := &ShardGroup{kernels: kernels, lookahead: lookahead}
+	if n := len(kernels) - 1; n > 0 {
+		g.cmd = make([]chan Time, n)
+		g.done = make(chan struct{}, n)
+		for i := range g.cmd {
+			g.cmd[i] = make(chan Time, 1)
+			go g.worker(i + 1)
+		}
+	}
+	return g
+}
+
+// SetExchange installs the barrier exchange hook. It must be set before Run
+// when any cross-shard channels exist.
+func (g *ShardGroup) SetExchange(fn func() int) { g.exchange = fn }
+
+// Kernels returns the coordinated kernels, shard-indexed.
+func (g *ShardGroup) Kernels() []*Kernel { return g.kernels }
+
+// Windows reports how many lookahead windows have been executed.
+func (g *ShardGroup) Windows() uint64 { return g.windows }
+
+// Exchanged reports how many cross-shard deliveries have crossed barriers.
+func (g *ShardGroup) Exchanged() uint64 { return g.exchanged }
+
+// Processed sums executed events across all kernels.
+func (g *ShardGroup) Processed() uint64 {
+	var n uint64
+	for _, k := range g.kernels {
+		n += k.Processed()
+	}
+	return n
+}
+
+// Pending sums pending events across all kernels.
+func (g *ShardGroup) Pending() int {
+	n := 0
+	for _, k := range g.kernels {
+		n += k.Pending()
+	}
+	return n
+}
+
+// Now returns the maximum shard clock; after Run it is the barrier time all
+// shards share.
+func (g *ShardGroup) Now() Time {
+	var t Time
+	for _, k := range g.kernels {
+		if k.Now() > t {
+			t = k.Now()
+		}
+	}
+	return t
+}
+
+// worker owns kernels[idx], running it to each commanded horizon. The
+// channel receive/send pair gives the coordinator exclusive access to the
+// kernel between windows (happens-before in both directions).
+func (g *ShardGroup) worker(idx int) {
+	k := g.kernels[idx]
+	for h := range g.cmd[idx-1] {
+		k.RunUntil(h)
+		g.done <- struct{}{}
+	}
+}
+
+// peekMin returns the global minimum next-event time across shards.
+func (g *ShardGroup) peekMin() (Time, bool) {
+	var minT Time
+	found := false
+	for _, k := range g.kernels {
+		if t, ok := k.PeekNext(); ok && (!found || t < minT) {
+			minT, found = t, true
+		}
+	}
+	return minT, found
+}
+
+// runWindow advances every shard to horizon h (executing events with
+// timestamps <= h), in parallel when the group has more than one shard.
+func (g *ShardGroup) runWindow(h Time) {
+	for _, c := range g.cmd {
+		c <- h
+	}
+	g.kernels[0].RunUntil(h)
+	for range g.cmd {
+		<-g.done
+	}
+	g.windows++
+}
+
+// Run executes windows until every shard drains or the global next-event
+// time passes limit. It reports whether the group drained (quiesced); when
+// false, pending events remain beyond limit. All shard clocks end at the
+// same time: the last window's horizon, or limit when the group ran out of
+// events before it.
+func (g *ShardGroup) Run(limit Time) bool {
+	for {
+		if g.exchange != nil {
+			g.exchanged += uint64(g.exchange())
+		}
+		t, ok := g.peekMin()
+		if !ok {
+			// Drained. Align the clocks so observers see one time.
+			g.alignClocks(g.Now())
+			return true
+		}
+		if t > limit {
+			g.alignClocks(limit)
+			return false
+		}
+		h := t + g.lookahead - 1
+		if h > limit {
+			h = limit
+		}
+		g.runWindow(h)
+	}
+}
+
+// alignClocks advances every shard clock to t without executing events
+// (RunUntil on a kernel whose next event is beyond t only moves the clock).
+func (g *ShardGroup) alignClocks(t Time) {
+	for _, k := range g.kernels {
+		if k.Now() < t {
+			k.RunUntil(t)
+		}
+	}
+}
+
+// Close shuts down the worker goroutines. The group must not be used after.
+func (g *ShardGroup) Close() {
+	for _, c := range g.cmd {
+		close(c)
+	}
+}

@@ -24,7 +24,7 @@ trap 'rm -f "$raw"' EXIT
 echo "== go test -bench (kernel + datapath + campaign + monitor throughput)"
 # shellcheck disable=SC2086  # benchtime is intentionally word-split
 go test -run '^$' \
-    -bench '^(BenchmarkKernel|BenchmarkCampaignThroughput|BenchmarkKernelEventThroughput|BenchmarkFIFOInjectorPassThrough|BenchmarkFIFOInjectorPerSymbol|BenchmarkFIFOInjectorArmed|BenchmarkMonitorTap|BenchmarkMonitorFlowExport|BenchmarkChaosFork|BenchmarkChaosRebuild|BenchmarkChaosSweep)$' \
+    -bench '^(BenchmarkKernel|BenchmarkCampaignThroughput|BenchmarkKernelEventThroughput|BenchmarkFIFOInjectorPassThrough|BenchmarkFIFOInjectorPerSymbol|BenchmarkFIFOInjectorArmed|BenchmarkMonitorTap|BenchmarkMonitorFlowExport|BenchmarkChaosFork|BenchmarkChaosRebuild|BenchmarkChaosSweep|BenchmarkFabricSharded)$' \
     -benchmem $benchtime . ./internal/campaign | tee "$raw"
 
 if [ -f "$out" ]; then

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -37,12 +38,19 @@ type record struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// output is the whole document.
+// output is the whole document. NumCPU and Gomaxprocs are stamped from the
+// converting process's runtime (bench.sh runs the benchmarks and benchjson
+// on the same machine), so a committed baseline records whether it came
+// from the known 1-CPU bench container or a real multicore box — without
+// it, parallel-scaling numbers (sharded fabrics, campaign fan-out) are
+// uninterpretable across baselines.
 type output struct {
 	Goos       string   `json:"goos,omitempty"`
 	Goarch     string   `json:"goarch,omitempty"`
 	Pkg        string   `json:"pkg,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	NumCPU     int      `json:"num_cpu,omitempty"`
+	Gomaxprocs int      `json:"gomaxprocs,omitempty"`
 	Benchmarks []record `json:"benchmarks"`
 }
 
@@ -77,7 +85,7 @@ func main() {
 
 // parseStream consumes `go test -bench` output.
 func parseStream(r io.Reader) output {
-	var out output
+	out := output{NumCPU: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0)}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -182,6 +190,12 @@ func mergeDocs(old, cur output) output {
 	}
 	if cur.CPU != "" {
 		merged.CPU = cur.CPU
+	}
+	if cur.NumCPU != 0 {
+		merged.NumCPU = cur.NumCPU
+	}
+	if cur.Gomaxprocs != 0 {
+		merged.Gomaxprocs = cur.Gomaxprocs
 	}
 	merged.Benchmarks = append([]record(nil), old.Benchmarks...)
 	index := make(map[string]int, len(merged.Benchmarks))

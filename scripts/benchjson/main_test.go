@@ -1,6 +1,7 @@
 package main
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -75,17 +76,28 @@ ok  netfi 1.0s
 	if doc.Goos != "linux" || doc.Pkg != "netfi" || len(doc.Benchmarks) != 1 {
 		t.Fatalf("got %+v", doc)
 	}
+	// The converting machine's CPU topology is stamped into every document
+	// so committed baselines are auditable (1-CPU bench container vs real
+	// multicore).
+	if doc.NumCPU != runtime.NumCPU() || doc.Gomaxprocs != runtime.GOMAXPROCS(0) {
+		t.Errorf("cpu metadata = %d/%d, want %d/%d",
+			doc.NumCPU, doc.Gomaxprocs, runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	}
 }
 
 func TestMergeDocs(t *testing.T) {
 	old := output{
-		Goos: "linux",
+		Goos:       "linux",
+		NumCPU:     8,
+		Gomaxprocs: 8,
 		Benchmarks: []record{
 			{Name: "A", NsPerOp: 1},
 			{Name: "B", NsPerOp: 2},
 		},
 	}
 	cur := output{
+		NumCPU:     1,
+		Gomaxprocs: 1,
 		Benchmarks: []record{
 			{Name: "B", NsPerOp: 20},
 			{Name: "C", NsPerOp: 3},
@@ -100,6 +112,11 @@ func TestMergeDocs(t *testing.T) {
 	}
 	if m.Goos != "linux" {
 		t.Errorf("header lost: %+v", m)
+	}
+	// The fresh run's CPU metadata wins: the merged file must describe the
+	// machine that produced the newest records.
+	if m.NumCPU != 1 || m.Gomaxprocs != 1 {
+		t.Errorf("cpu metadata not refreshed: %d/%d, want 1/1", m.NumCPU, m.Gomaxprocs)
 	}
 	if old.Benchmarks[1].NsPerOp != 2 {
 		t.Error("merge mutated the old document")
