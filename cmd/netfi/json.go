@@ -7,6 +7,7 @@ import (
 	"netfi/internal/campaign"
 	"netfi/internal/monitor"
 	"netfi/internal/sim"
+	"netfi/internal/topo"
 )
 
 // The -json views: durations render as milliseconds so consumers never need
@@ -121,6 +122,50 @@ type jsonMonitor struct {
 	FlowsDropped   uint64               `json:"flows_dropped"`
 	Flows          []jsonFlow           `json:"flows"`
 	Taps           []campaign.TapTotals `json:"taps"`
+}
+
+type jsonFabric struct {
+	Section       string   `json:"section"`
+	Seed          int64    `json:"seed"`
+	Switches      int      `json:"switches"`
+	Hosts         int      `json:"hosts"`
+	Shards        int      `json:"shards"`
+	Drained       bool     `json:"drained"`
+	SimTimeMs     float64  `json:"sim_time_ms"`
+	WallMs        float64  `json:"wall_ms"`
+	Sent          uint64   `json:"sent"`
+	Delivered     uint64   `json:"delivered"`
+	Bytes         uint64   `json:"bytes"`
+	Symbols       uint64   `json:"symbols"`
+	Events        uint64   `json:"events"`
+	Windows       uint64   `json:"windows"`
+	Exchanged     uint64   `json:"exchanged"`
+	EventsPerWin  float64  `json:"events_per_window"`
+	WinPerSimSec  float64  `json:"windows_per_simsec"`
+	SymbolsPerSec float64  `json:"symbols_per_sec"`
+	ShardEvents   []uint64 `json:"shard_events"`
+}
+
+func viewFabric(res campaign.FabricResult) jsonFabric {
+	v := jsonFabric{
+		Section: "fabric", Seed: res.Cfg.Topo.Seed,
+		Switches: res.Cfg.Topo.Switches, Hosts: res.Cfg.Topo.Hosts,
+		Shards:    res.Cfg.Topo.Shards,
+		Drained:   res.Drained,
+		SimTimeMs: sim.Duration(res.SimTime).Seconds() * 1000,
+		WallMs:    float64(res.Wall.Nanoseconds()) / 1e6,
+		Sent:      res.Sent, Delivered: res.Delivered,
+		Bytes: res.Bytes, Symbols: res.Symbols,
+		Events: res.Events, Windows: res.Windows, Exchanged: res.Exchanged,
+		EventsPerWin:  res.EventsPerWindow(),
+		WinPerSimSec:  res.WindowsPerSimSec(),
+		SymbolsPerSec: res.SymbolsPerSec(),
+		ShardEvents:   res.ShardEvents,
+	}
+	if v.ShardEvents == nil {
+		v.ShardEvents = []uint64{}
+	}
+	return v
 }
 
 func ms(d sim.Duration) float64 {
@@ -256,8 +301,21 @@ func jsonReport(name string, o expOpts) (string, error) {
 		}
 	case "chaos":
 		v = viewChaos(campaign.RunChaos(chaosOptions(o)))
+	case "fabric":
+		res, err := campaign.RunFabric(campaign.FabricConfig{
+			Topo: topo.Config{
+				Switches: o.switches,
+				Hosts:    o.hosts,
+				Shards:   o.shards,
+				Seed:     o.seed,
+			},
+		})
+		if err != nil {
+			return "", err
+		}
+		v = viewFabric(res)
 	default:
-		return "", fmt.Errorf("-json supports resilience, monitor, and chaos, not %q", name)
+		return "", fmt.Errorf("-json supports resilience, monitor, chaos, and fabric, not %q", name)
 	}
 	out, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {

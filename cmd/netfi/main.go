@@ -27,8 +27,12 @@
 //	-hosts N       fabric host count (fabric only, default 64)
 //	-shards N      fabric shard count (fabric only, default: one per CPU;
 //	               output is byte-identical across shard counts)
-//	-json          machine-readable output (resilience, monitor, chaos):
-//	               detection-latency CDFs, per-trial triage, flow summaries
+//	-stats         append coordinator-efficiency stats to the fabric report:
+//	               windows, exchanged deliveries, events/window, and
+//	               windows per simulated second
+//	-json          machine-readable output (resilience, monitor, chaos,
+//	               fabric): detection-latency CDFs, per-trial triage, flow
+//	               summaries, coordinator stats
 //	-scale F       scale experiment durations/rounds toward the paper's full
 //	               lengths (default 1.0; e.g. -scale 12 runs Table 2 with
 //	               240k ping-pong rounds and §4.3.1 for a full minute)
@@ -66,6 +70,7 @@ type expOpts struct {
 	switches int
 	hosts    int
 	shards   int
+	stats    bool
 }
 
 func run(args []string) int {
@@ -76,7 +81,8 @@ func run(args []string) int {
 	switches := fs.Int("switches", 16, "fabric switch count (fabric only)")
 	hosts := fs.Int("hosts", 64, "fabric host count (fabric only)")
 	shards := fs.Int("shards", campaign.DefaultWorkers(), "fabric shard count (fabric only)")
-	jsonOut := fs.Bool("json", false, "machine-readable output (resilience, monitor, chaos)")
+	stats := fs.Bool("stats", false, "print coordinator-efficiency stats after the run (fabric only)")
+	jsonOut := fs.Bool("json", false, "machine-readable output (resilience, monitor, chaos, fabric)")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := fs.String("memprofile", "", "write heap profile to file")
 	if err := fs.Parse(args); err != nil {
@@ -91,7 +97,7 @@ func run(args []string) int {
 		}
 	}
 	if len(rest) < 1 || fs.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: netfi [-seed N] [-scale F] [-workers N] [-switches N] [-hosts N] [-shards N] [-json] [-cpuprofile F] [-memprofile F] <table1|table2|table4|sec431|sec432|sec433|sec434|passthrough|multirule|resilience|monitor|chaos|fabric|all>")
+		fmt.Fprintln(os.Stderr, "usage: netfi [-seed N] [-scale F] [-workers N] [-switches N] [-hosts N] [-shards N] [-stats] [-json] [-cpuprofile F] [-memprofile F] <table1|table2|table4|sec431|sec432|sec433|sec434|passthrough|multirule|resilience|monitor|chaos|fabric|all>")
 		return 2
 	}
 
@@ -126,6 +132,7 @@ func run(args []string) int {
 	opts := expOpts{
 		seed: *seed, scale: *scale, workers: *workers,
 		switches: *switches, hosts: *hosts, shards: *shards,
+		stats: *stats,
 	}
 	cmds := map[string]func(expOpts) string{
 		"table1":      table1,
@@ -284,8 +291,12 @@ func fabricSection(o expOpts) string {
 	if err != nil {
 		return fmt.Sprintf("fabric: %v\n", err)
 	}
-	return "Sharded fabric: parallel per-core event kernels, conservative lookahead\n" +
+	out := "Sharded fabric: parallel per-core event kernels, adaptive conservative lookahead\n" +
 		campaign.FormatFabric(res)
+	if o.stats {
+		out += campaign.FormatFabricStats(res)
+	}
+	return out
 }
 
 func monitorSection(o expOpts) string {

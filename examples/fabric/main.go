@@ -6,10 +6,12 @@
 // shard counts, and prints the per-shard event balance and throughput for
 // each. The punchline is determinism: the final fabric state is
 // byte-identical whether one kernel executes everything or sixteen kernels
-// race under the lookahead barrier — only the wall clock changes. Shards
-// never see each other's clocks; the coordinator advances all of them in
-// windows bounded by the minimum link latency, so no shard can receive a
-// cross-shard delivery in its past.
+// race under the lookahead barrier — only the wall clock and the window
+// count change. Shards never see each other's clocks; the coordinator
+// advances each one to its own safe horizon, computed from the fabric's
+// shortest cross-shard latency paths, so no shard can receive a
+// cross-shard delivery in its past. A single-shard run has no cross-shard
+// cables at all and sprints to quiescence in one window.
 package main
 
 import (

@@ -285,15 +285,18 @@ func (tb *FabricTestbed) Totals() (sent, delivered, bytes uint64) {
 // per-cable link totals, workload counters, flow records, and the per-host
 // receive event logs. Two runs with equal fingerprints executed the same
 // events in the same order — the byte-identity the shard equivalence gate
-// compares across shard counts. Shard-count-dependent quantities (per-shard
-// clocks, per-kernel event counts) are deliberately aggregated: the gate
-// pins their sums and the common barrier clock, which the coordinator
-// aligns across shards.
+// compares across shard counts. Shard-count-dependent quantities are
+// excluded or aggregated: windows and exchanged-delivery counts depend on
+// the partition and the distance matrix (adaptive horizons cut fewer,
+// wider windows; only cross-shard deliveries ride the exchange), and
+// per-shard clocks / per-kernel event counts appear only as the global
+// last-event time and the processed-event sum, which the coordinator keeps
+// partition-independent.
 func fabricFingerprint(tb *FabricTestbed) string {
 	var b strings.Builder
 	f := tb.F
-	fmt.Fprintf(&b, "fabric now=%d processed=%d windows=%d exchanged=%d drained=%v\n",
-		f.Group.Now(), f.Group.Processed(), f.Group.Windows(), f.Group.Exchanged(), tb.drained)
+	fmt.Fprintf(&b, "fabric now=%d processed=%d drained=%v\n",
+		f.Group.Now(), f.Group.Processed(), tb.drained)
 	for _, sw := range f.Switches {
 		for p := 0; p < sw.Ports(); p++ {
 			writeCounters(&b, fmt.Sprintf("%s.p%d", sw.Name(), p), sw.PortCounters(p))
@@ -378,6 +381,47 @@ func RunFabric(cfg FabricConfig) (FabricResult, error) {
 		res.ShardEvents = append(res.ShardEvents, k.Processed())
 	}
 	return res, nil
+}
+
+// EventsPerWindow reports the mean executed events per coordinator window
+// — the direct measure of how much work each barrier amortizes.
+func (r FabricResult) EventsPerWindow() float64 {
+	if r.Windows == 0 {
+		return 0
+	}
+	return float64(r.Events) / float64(r.Windows)
+}
+
+// WindowsPerSimSec reports coordinator windows per simulated second — the
+// adaptive-lookahead headline: lower means wider safe horizons.
+func (r FabricResult) WindowsPerSimSec() float64 {
+	secs := float64(r.SimTime) * 1e-12
+	if secs <= 0 {
+		return 0
+	}
+	return float64(r.Windows) / secs
+}
+
+// SymbolsPerSec reports simulated link characters per wall-clock second.
+func (r FabricResult) SymbolsPerSec() float64 {
+	secs := r.Wall.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(r.Symbols) / secs
+}
+
+// FormatFabricStats renders the coordinator-efficiency block behind
+// `netfi fabric -stats`: window counts, barrier traffic, and the
+// events-per-window / windows-per-simulated-second ratios that say whether
+// the adaptive horizons are doing their job.
+func FormatFabricStats(r FabricResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  stats: %.1f events/window, %.3gM windows/simsec\n",
+		r.EventsPerWindow(), r.WindowsPerSimSec()/1e6)
+	fmt.Fprintf(&b, "  stats: %d windows, %d exchanged deliveries, %.2fM symbols/s wall\n",
+		r.Windows, r.Exchanged, r.SymbolsPerSec()/1e6)
+	return b.String()
 }
 
 // FormatFabric renders the CLI report.

@@ -27,7 +27,7 @@ func BenchmarkFabricSharded(b *testing.B) {
 	for _, shards := range shardCounts {
 		b.Run(fmt.Sprintf("%dshards", shards), func(b *testing.B) {
 			b.ReportAllocs()
-			var symbols, events uint64
+			var symbols, events, windows, exchanged uint64
 			for i := 0; i < b.N; i++ {
 				res, err := RunFabric(FabricConfig{
 					Topo:    topo.Config{Switches: 128, Hosts: 1024, Shards: shards, Seed: 42},
@@ -43,12 +43,18 @@ func BenchmarkFabricSharded(b *testing.B) {
 				}
 				symbols += res.Symbols
 				events += res.Events
+				windows += res.Windows
+				exchanged += res.Exchanged
 			}
 			secs := b.Elapsed().Seconds()
 			if secs > 0 {
 				b.ReportMetric(float64(symbols)/secs/1e6, "Msymbols/s")
 				b.ReportMetric(float64(events)/secs/1e6, "Mevents/s")
 			}
+			// Coordinator-efficiency metrics: how many barriers the adaptive
+			// horizons cut per run, and how much traffic crossed them.
+			b.ReportMetric(float64(windows)/float64(b.N), "windows/op")
+			b.ReportMetric(float64(exchanged)/float64(b.N), "exchanged/op")
 		})
 	}
 }

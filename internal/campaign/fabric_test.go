@@ -24,15 +24,17 @@ func runFabricFingerprint(t *testing.T, cfg FabricConfig) (string, *FabricTestbe
 // 2-switch/4-host fabric run sharded at 1, 2, and 4 shards must produce a
 // byte-identical full-state fingerprint — STAT counters on every switch
 // port and interface, link totals, flow records, per-host receive event
-// logs, and the coordinator's clock/event/window/exchange counters — across
+// logs, and the coordinator's clock and processed-event counters — across
 // 20 seeds and both workloads. Shards=1 is the single-kernel path (one
-// sim.Kernel executes everything); 2 and 4 split the fabric across real
-// parallel kernels, 4 finer than the switch count.
+// sim.Kernel executes everything, every delivery scheduled directly); 2
+// and 4 split the fabric across real parallel kernels with adaptive
+// horizons and barrier exchange, 4 finer than the switch count.
 func TestFabricShardEquivalence(t *testing.T) {
 	for _, workload := range []FabricWorkload{WorkloadFlood, WorkloadPingPong} {
 		for seed := int64(0); seed < 20; seed++ {
 			var base string
 			var baseTB *FabricTestbed
+			var multiExchanged uint64
 			for _, shards := range []int{1, 2, 4} {
 				cfg := FabricConfig{
 					Topo:     topo.Config{Switches: 2, Hosts: 4, Shards: shards, Seed: seed},
@@ -53,19 +55,22 @@ func TestFabricShardEquivalence(t *testing.T) {
 				if len(tb.F.Kernels) != shards {
 					t.Fatalf("shards=%d built %d kernels", shards, len(tb.F.Kernels))
 				}
+				multiExchanged += tb.F.Group.Exchanged()
 				if fp != base {
 					t.Fatalf("workload=%s seed=%d shards=%d fingerprint diverges from single-kernel run:\n%s",
 						workload, seed, shards, diffFirstLine(base, fp))
 				}
 			}
-			// The gate must gate something: traffic flowed and crossed
-			// the (channelized) cables.
+			// The gate must gate something: traffic flowed, and the
+			// sharded runs moved deliveries across real barriers (the
+			// single-kernel run schedules everything directly, so its
+			// exchange count is legitimately zero).
 			sent, delivered, _ := baseTB.Totals()
 			if sent == 0 || delivered == 0 {
 				t.Fatalf("workload=%s seed=%d: no traffic (sent=%d delivered=%d)", workload, seed, sent, delivered)
 			}
-			if baseTB.F.Group.Exchanged() == 0 {
-				t.Fatalf("workload=%s seed=%d: no deliveries crossed the exchange", workload, seed)
+			if multiExchanged == 0 {
+				t.Fatalf("workload=%s seed=%d: no deliveries crossed the exchange in any sharded run", workload, seed)
 			}
 		}
 	}

@@ -46,6 +46,7 @@ func cloneCounters(m *sim.Mapper, c *Counters) *Counters {
 func (s *SlackBuffer) clone(onStop, onGo func()) *SlackBuffer {
 	s2 := &SlackBuffer{
 		buf:      append([]phy.Character(nil), s.buf...),
+		capacity: s.capacity,
 		head:     s.head,
 		count:    s.count,
 		high:     s.high,

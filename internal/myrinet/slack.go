@@ -10,8 +10,15 @@ import "netfi/internal/phy"
 // the overflow the paper's flow-control corruption campaign provokes.
 //
 // The zero value is not usable; construct with NewSlackBuffer.
+//
+// The ring's backing array is a power of two sized below the logical
+// capacity and grown on demand: a fabric instantiates thousands of these
+// and most never hold more than a packet, so allocating the full capacity
+// up front dominated fabric construction. Overflow and the watermarks act
+// on the logical count, so the growth policy is invisible to flow control.
 type SlackBuffer struct {
-	buf      []phy.Character
+	buf      []phy.Character // power-of-two ring, grown on demand
+	capacity int             // logical limit; pushes beyond it overflow
 	head     int
 	count    int
 	high     int
@@ -23,6 +30,16 @@ type SlackBuffer struct {
 	pushes   uint64
 }
 
+// slackRingSize returns the initial ring size for a capacity: the smallest
+// power of two covering it, at most 64.
+func slackRingSize(capacity int) int {
+	size := 1
+	for size < capacity && size < 64 {
+		size <<= 1
+	}
+	return size
+}
+
 // NewSlackBuffer returns a buffer with the given geometry. onStop and onGo
 // may be nil. Watermarks must satisfy 0 <= low < high <= capacity.
 func NewSlackBuffer(capacity, high, low int, onStop, onGo func()) *SlackBuffer {
@@ -30,12 +47,22 @@ func NewSlackBuffer(capacity, high, low int, onStop, onGo func()) *SlackBuffer {
 		panic("myrinet: invalid slack buffer geometry")
 	}
 	return &SlackBuffer{
-		buf:    make([]phy.Character, capacity),
-		high:   high,
-		low:    low,
-		onStop: onStop,
-		onGo:   onGo,
+		buf:      make([]phy.Character, slackRingSize(capacity)),
+		capacity: capacity,
+		high:     high,
+		low:      low,
+		onStop:   onStop,
+		onGo:     onGo,
 	}
+}
+
+// grow doubles the ring, unwrapping the buffered characters to the front.
+func (s *SlackBuffer) grow() {
+	nb := make([]phy.Character, 2*len(s.buf))
+	n := copy(nb, s.buf[s.head:])
+	copy(nb[n:], s.buf[:s.head])
+	s.buf = nb
+	s.head = 0
 }
 
 // NewDefaultSlackBuffer returns a buffer with the package-default geometry.
@@ -48,11 +75,14 @@ func NewDefaultSlackBuffer(onStop, onGo func()) *SlackBuffer {
 // until the buffer next drains to the low watermark.
 func (s *SlackBuffer) Push(c phy.Character) bool {
 	s.pushes++
-	if s.count == len(s.buf) {
+	if s.count == s.capacity {
 		s.overflow++
 		return false
 	}
-	s.buf[(s.head+s.count)%len(s.buf)] = c
+	if s.count == len(s.buf) {
+		s.grow()
+	}
+	s.buf[(s.head+s.count)&(len(s.buf)-1)] = c
 	s.count++
 	if s.count >= s.high && !s.stopping {
 		s.stopping = true
@@ -70,7 +100,7 @@ func (s *SlackBuffer) Pop() (phy.Character, bool) {
 		return 0, false
 	}
 	c := s.buf[s.head]
-	s.head = (s.head + 1) % len(s.buf)
+	s.head = (s.head + 1) & (len(s.buf) - 1)
 	s.count--
 	if s.stopping && s.count <= s.low {
 		s.stopping = false
@@ -104,7 +134,7 @@ func (s *SlackBuffer) Discard(n int) {
 	if n > s.count {
 		panic("myrinet: discard beyond buffered count")
 	}
-	s.head = (s.head + n) % len(s.buf)
+	s.head = (s.head + n) & (len(s.buf) - 1)
 	s.count -= n
 	if s.stopping && s.count <= s.low {
 		s.stopping = false
@@ -145,8 +175,9 @@ func (s *SlackBuffer) Peek() (phy.Character, bool) {
 // Len reports the number of buffered characters.
 func (s *SlackBuffer) Len() int { return s.count }
 
-// Cap reports the buffer capacity in characters.
-func (s *SlackBuffer) Cap() int { return len(s.buf) }
+// Cap reports the buffer capacity in characters (the logical limit, not
+// the ring's current backing size).
+func (s *SlackBuffer) Cap() int { return s.capacity }
 
 // Stopping reports whether the buffer is between its high-watermark STOP
 // and the low-watermark GO.

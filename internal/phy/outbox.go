@@ -1,24 +1,32 @@
 package phy
 
 import (
-	"slices"
+	"sync/atomic"
 
 	"netfi/internal/sim"
 )
 
-// Cross-shard delivery channels. A sharded fabric replaces every cable's
-// direct kernel scheduling with a ChannelEnd sink: the sending shard's link
-// computes the arrival time as usual, but the burst is buffered in the
-// sender's Outbox instead of entering a kernel. At each barrier the
-// coordinator drains all outboxes with ExchangeAll, which injects every
-// buffered delivery into its destination kernel in one global deterministic
-// order — sorted by (arrival, link rank, per-link sequence), a total order
-// because (rank, seq) is unique. The per-destination injection order is
-// therefore a pure function of the traffic, not of the partitioning, which
-// is what makes an N-shard run byte-identical to a 1-shard run.
+// Cross-shard delivery channels. A sharded fabric replaces a cross-shard
+// cable's direct kernel scheduling with a ChannelEnd sink: the sending
+// shard's link computes the arrival time as usual, but the burst is
+// buffered in the sender's Outbox instead of entering a kernel. At each
+// barrier the coordinator drains all outboxes with ExchangeSet.Exchange,
+// which injects every buffered delivery into its destination kernel as an
+// externally-ordered event (sim.Kernel.AtExt) stamped with the sending
+// link's rank and per-link sequence.
+//
+// Determinism does not depend on injection order: the kernel fires events
+// that share an arrival time in (external before local, then rank, then
+// sequence) order, a total order carried by the events themselves. The
+// execution order at every kernel is therefore a pure function of the
+// traffic — not of which barrier a delivery happened to cross, nor of the
+// partitioning — which is what makes an N-shard run byte-identical to a
+// 1-shard run. Same-shard cables skip the buffering entirely via a
+// DirectEnd, which schedules the same externally-ordered event immediately.
 
 // DeliverySink receives a link's computed deliveries in place of the local
-// kernel. Implementations buffer them for a later exchange.
+// kernel. Implementations either buffer them for a later exchange
+// (ChannelEnd) or schedule them directly (DirectEnd).
 type DeliverySink interface {
 	Deliver(arrival sim.Time, dst Receiver, chars []Character)
 }
@@ -28,82 +36,150 @@ type Delivery struct {
 	At    sim.Time
 	Dst   Receiver
 	Chars []Character
-	Rank  int    // the sending link's global rank (unique per link)
+	Rank  uint32 // the sending link's global rank (unique per link)
 	Seq   uint64 // per-link send sequence; (Rank, Seq) is unique
 	K     *sim.Kernel
 }
 
 // Outbox buffers deliveries originating from one shard between barriers.
 // Only that shard's goroutine appends to it during a window; the barrier
-// handoff publishes it to the coordinator.
+// handoff publishes it to the coordinator. An Outbox belongs to an
+// ExchangeSet, whose shared counter it bumps on the empty -> non-empty
+// transition so the coordinator can skip barriers with no traffic.
 type Outbox struct {
-	pending []Delivery
+	pending  []Delivery
+	nonEmpty *atomic.Int32
+	slack    int // consecutive exchanges that used < 1/4 of capacity
 }
 
 // Len reports the number of buffered deliveries.
 func (o *Outbox) Len() int { return len(o.pending) }
 
-// ChannelEnd is the DeliverySink for one direction of a channelized cable.
+func (o *Outbox) push(d Delivery) {
+	if len(o.pending) == 0 && o.nonEmpty != nil {
+		o.nonEmpty.Add(1)
+	}
+	o.pending = append(o.pending, d)
+}
+
+// drain moves the buffered deliveries into all, clears the backing array's
+// pointers for the garbage collector, and applies the shrink policy: a
+// burst of traffic can balloon the array, so when many consecutive
+// exchanges use less than a quarter of its capacity the array is recycled
+// at half size. Steady-state exchanges stay allocation-free.
+func (o *Outbox) drain(all []Delivery) []Delivery {
+	n := len(o.pending)
+	if n == 0 {
+		return all
+	}
+	all = append(all, o.pending...)
+	clear(o.pending)
+	o.pending = o.pending[:0]
+	if c := cap(o.pending); c >= 64 && n < c/4 {
+		if o.slack++; o.slack >= 16 {
+			o.pending = make([]Delivery, 0, c/2)
+			o.slack = 0
+		}
+	} else {
+		o.slack = 0
+	}
+	return all
+}
+
+// ChannelEnd is the DeliverySink for one direction of a cross-shard cable.
 // It stamps each delivery with the link's rank and a monotone sequence and
 // appends it to the sending shard's outbox, bound for the receiving shard's
 // kernel.
 type ChannelEnd struct {
 	out  *Outbox
 	dstK *sim.Kernel
-	rank int
+	rank uint32
 	seq  uint64
 }
 
 // NewChannelEnd returns a sink that buffers into out, injecting into dstK at
 // exchange time. Rank must be unique across all channel ends of a fabric
 // and assigned deterministically from topology alone.
-func NewChannelEnd(out *Outbox, dstK *sim.Kernel, rank int) *ChannelEnd {
+func NewChannelEnd(out *Outbox, dstK *sim.Kernel, rank uint32) *ChannelEnd {
 	return &ChannelEnd{out: out, dstK: dstK, rank: rank}
 }
 
 // Deliver implements DeliverySink.
 func (c *ChannelEnd) Deliver(arrival sim.Time, dst Receiver, chars []Character) {
-	c.out.pending = append(c.out.pending, Delivery{
+	c.out.push(Delivery{
 		At: arrival, Dst: dst, Chars: chars, Rank: c.rank, Seq: c.seq, K: c.dstK,
 	})
 	c.seq++
 }
 
-// ExchangeAll drains every outbox, injecting all buffered deliveries into
-// their destination kernels in global (arrival, rank, seq) order, and
-// reports how many deliveries moved. It must run at a barrier, with every
-// shard quiescent, and every delivery's arrival must be at or after its
-// destination kernel's clock (the conservative-lookahead window guarantees
-// this; the kernel panics otherwise).
-func ExchangeAll(boxes []*Outbox, scratch *[]Delivery) int {
-	all := (*scratch)[:0]
-	for _, b := range boxes {
-		all = append(all, b.pending...)
-		b.pending = b.pending[:0]
+// DirectEnd is the DeliverySink for one direction of a same-shard cable in
+// a sharded fabric. The delivery never leaves the shard, so it is scheduled
+// into the local kernel immediately — but as the same externally-ordered
+// event a barrier exchange would have produced, so execution order is
+// identical to a run where the cable crossed shards.
+type DirectEnd struct {
+	k    *sim.Kernel
+	rank uint32
+	seq  uint64
+}
+
+// NewDirectEnd returns a sink that schedules into k directly. Rank shares
+// the ChannelEnd rank space: unique per channel end, deterministic from
+// topology alone.
+func NewDirectEnd(k *sim.Kernel, rank uint32) *DirectEnd {
+	return &DirectEnd{k: k, rank: rank}
+}
+
+// Deliver implements DeliverySink.
+func (d *DirectEnd) Deliver(arrival sim.Time, dst Receiver, chars []Character) {
+	ScheduleReceiveExt(d.k, arrival, d.rank, d.seq, dst, chars)
+	d.seq++
+}
+
+// ExchangeSet owns one outbox per shard and drains them at barriers. The
+// non-empty counter lets Exchange return without touching any outbox when
+// no shard buffered anything since the last barrier — the common case on
+// windows that carried only intra-shard traffic.
+type ExchangeSet struct {
+	boxes    []*Outbox
+	nonEmpty atomic.Int32
+	scratch  []Delivery
+}
+
+// NewExchangeSet returns a set with one empty outbox per shard.
+func NewExchangeSet(shards int) *ExchangeSet {
+	s := &ExchangeSet{boxes: make([]*Outbox, shards)}
+	for i := range s.boxes {
+		s.boxes[i] = &Outbox{nonEmpty: &s.nonEmpty}
 	}
-	if len(all) > 1 {
-		slices.SortFunc(all, func(a, b Delivery) int {
-			switch {
-			case a.At != b.At:
-				if a.At < b.At {
-					return -1
-				}
-				return 1
-			case a.Rank != b.Rank:
-				return a.Rank - b.Rank
-			case a.Seq < b.Seq:
-				return -1
-			default:
-				return 1
-			}
-		})
+	return s
+}
+
+// Box returns shard i's outbox.
+func (s *ExchangeSet) Box(i int) *Outbox { return s.boxes[i] }
+
+// Exchange drains every outbox, injecting all buffered deliveries into
+// their destination kernels, and reports how many deliveries moved. It must
+// run at a barrier, with every shard quiescent, and every delivery's
+// arrival must be at or after its destination kernel's clock (the
+// conservative window horizons guarantee this; the kernel panics
+// otherwise). Injection needs no sort: the (rank, seq) stamps order the
+// events inside each kernel.
+func (s *ExchangeSet) Exchange() int {
+	if s.nonEmpty.Load() == 0 {
+		return 0
+	}
+	s.nonEmpty.Store(0)
+	all := s.scratch[:0]
+	for _, b := range s.boxes {
+		all = b.drain(all)
 	}
 	for i := range all {
 		d := &all[i]
-		ScheduleReceive(d.K, d.At, d.Dst, d.Chars)
+		ScheduleReceiveExt(d.K, d.At, d.Rank, d.Seq, d.Dst, d.Chars)
 		d.Dst, d.Chars, d.K = nil, nil, nil
 	}
 	n := len(all)
-	*scratch = all[:0]
+	s.scratch = all[:0]
 	return n
 }

@@ -118,3 +118,23 @@ func ScheduleReceive(k *sim.Kernel, at sim.Time, dst Receiver, chars []Character
 	d.dst, d.chars = dst, chars
 	return k.AtArg(at, deliverBurst, d)
 }
+
+// ScheduleReceiveExt is ScheduleReceive for externally-ordered deliveries:
+// the event carries the sending channel's (rank, seq) stamp so the kernel
+// fires same-time deliveries in a partition-independent order (see
+// sim.Kernel.AtExt). Used by the sharded fabric's exchange and DirectEnd
+// paths.
+func ScheduleReceiveExt(k *sim.Kernel, at sim.Time, rank uint32, seq uint64, dst Receiver, chars []Character) sim.EventID {
+	deliveryPool.mu.Lock()
+	d := deliveryPool.free
+	if d != nil {
+		deliveryPool.free = d.next
+		d.next = nil
+	}
+	deliveryPool.mu.Unlock()
+	if d == nil {
+		d = new(delivery)
+	}
+	d.dst, d.chars = dst, chars
+	return k.AtExt(at, rank, seq, deliverBurst, d)
+}

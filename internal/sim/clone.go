@@ -145,6 +145,9 @@ func (m *Mapper) cloneEvent(old *event) *event {
 		fn:       old.fn,
 		afn:      old.afn,
 		arg:      old.arg,
+		ext:      old.ext,
+		xrank:    old.xrank,
+		xseq:     old.xseq,
 		gen:      old.gen,
 		canceled: old.canceled,
 		index:    old.index,

@@ -90,11 +90,42 @@ type event struct {
 	afn func(any) // capture-free form (AtArg/AfterArg)
 	arg any
 
+	// Externally ordered events (AtExt) carry their own tie-break key in
+	// place of the insertion sequence: at equal timestamps they fire
+	// before every locally scheduled event, ordered among themselves by
+	// (xrank, xseq). Shard coordinators use this so a cross-shard
+	// delivery's fire position is a pure function of the traffic — not of
+	// when the barrier that injected it happened to run.
+	ext   bool
+	xrank uint32
+	xseq  uint64
+
 	gen      uint64
 	canceled bool
 
 	next  *event // wheel slot chain, or free-list link
 	index int    // heap index; -1 when not in the heap
+}
+
+// eventLess is the kernel's total fire order: time first, then external
+// events before local ones, then (xrank, xseq) among externals and the
+// insertion sequence among locals. Every queue structure (wheel slot sort,
+// current-slot insert, heap, wheel-vs-heap merge) must use exactly this
+// comparison or same-tick events would fire in structure-dependent order.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.ext != b.ext {
+		return a.ext
+	}
+	if a.ext {
+		if a.xrank != b.xrank {
+			return a.xrank < b.xrank
+		}
+		return a.xseq < b.xseq
+	}
+	return a.seq < b.seq
 }
 
 // EventID identifies a scheduled event so it can be canceled.
@@ -106,13 +137,8 @@ type EventID struct {
 // eventHeap orders events by (at, seq).
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
@@ -257,6 +283,28 @@ func (k *Kernel) AfterArg(d Duration, fn func(any), arg any) EventID {
 	return k.schedule(k.now+d, nil, fn, arg)
 }
 
+// AtExt schedules an externally ordered event: at time t it fires before
+// every locally scheduled event with the same timestamp, and external events
+// at equal times fire in (rank, xseq) order regardless of the order or the
+// moment they were scheduled. (rank, xseq) must be unique per pending
+// external event at any timestamp. Sharded fabrics schedule cross- and
+// same-shard deliveries this way, which is what lets the barrier schedule
+// change (adaptive lookahead) without changing the execution order.
+func (k *Kernel) AtExt(t Time, rank uint32, xseq uint64, fn func(any), arg any) EventID {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	ev := k.alloc()
+	ev.at = t
+	ev.seq = k.seq
+	ev.ext, ev.xrank, ev.xseq = true, rank, xseq
+	ev.afn, ev.arg = fn, arg
+	k.seq++
+	k.live++
+	k.place(ev)
+	return EventID{ev: ev, gen: ev.gen}
+}
+
 func (k *Kernel) schedule(t Time, fn func(), afn func(any), arg any) EventID {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
@@ -308,13 +356,13 @@ func (k *Kernel) push(level, slot int, ev *event) {
 }
 
 // insertCur inserts ev into the unconsumed tail of the current-slot buffer,
-// keeping it sorted by (at, seq).
+// keeping it sorted in fire order.
 func (k *Kernel) insertCur(ev *event) {
 	cur := k.cur
 	lo, hi := k.curPos, len(cur)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if cur[mid].at < ev.at || (cur[mid].at == ev.at && cur[mid].seq < ev.seq) {
+		if eventLess(cur[mid], ev) {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -358,6 +406,7 @@ func (k *Kernel) alloc() *event {
 func (k *Kernel) recycle(ev *event) {
 	ev.gen++
 	ev.fn, ev.afn, ev.arg = nil, nil, nil
+	ev.ext, ev.xrank, ev.xseq = false, 0, 0
 	ev.canceled = false
 	ev.index = -1
 	ev.next = k.free
@@ -437,17 +486,10 @@ func (k *Kernel) sweep() {
 }
 
 func cmpEvent(a, b *event) int {
-	switch {
-	case a.at != b.at:
-		if a.at < b.at {
-			return -1
-		}
-		return 1
-	case a.seq < b.seq:
+	if eventLess(a, b) {
 		return -1
-	default:
-		return 1
 	}
+	return 1
 }
 
 // cascade redistributes one higher-level slot down the wheel.
@@ -487,7 +529,7 @@ func (k *Kernel) popNext() *event {
 	switch {
 	case wf == nil && hf == nil:
 		return nil
-	case hf == nil || (wf != nil && (wf.at < hf.at || (wf.at == hf.at && wf.seq < hf.seq))):
+	case hf == nil || (wf != nil && eventLess(wf, hf)):
 		k.cur[k.curPos] = nil
 		k.curPos++
 		return wf
@@ -540,6 +582,23 @@ func (k *Kernel) RunUntil(t Time) {
 	}
 }
 
+// Drain executes events with timestamps <= t like RunUntil, but leaves the
+// clock at the last executed event instead of forcing it to t. Shard
+// coordinators run windows with Drain so a kernel's clock tracks its real
+// activity: the group's observable time stays the time of the last executed
+// event — a pure function of the traffic — rather than the horizon of the
+// last window, which depends on the partition.
+func (k *Kernel) Drain(t Time) {
+	k.stopped = false
+	for !k.stopped {
+		next, ok := k.peek()
+		if !ok || next > t {
+			return
+		}
+		k.Step()
+	}
+}
+
 // RunFor executes events for a span d of virtual time from now.
 func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now + d) }
 
@@ -558,7 +617,7 @@ func (k *Kernel) peek() (Time, bool) {
 	switch {
 	case wf == nil && hf == nil:
 		return 0, false
-	case hf == nil || (wf != nil && (wf.at < hf.at || (wf.at == hf.at && wf.seq < hf.seq))):
+	case hf == nil || (wf != nil && eventLess(wf, hf)):
 		return wf.at, true
 	default:
 		return hf.at, true

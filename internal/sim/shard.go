@@ -1,29 +1,108 @@
-// Conservative-lookahead coordination of multiple kernels.
+// Conservative coordination of multiple kernels with extracted lookahead.
 //
-// A ShardGroup advances N kernels in lockstep windows. Each window is
-// anchored at the global minimum next-event time T and extends through
-// T+lookahead-1: no shard may execute an event at or beyond T+lookahead
-// until the next barrier. The lookahead is the minimum latency of any
-// cross-shard channel (serialization of one character plus propagation
-// delay), so an event executed inside the window can only produce a
-// cross-shard delivery at T+lookahead or later — after the barrier at
-// which that delivery is exchanged and injected. This is the classic
-// Chandy-Misra-Bryant conservative synchronization, with the barrier
-// playing the role of null messages.
+// A ShardGroup advances N kernels in windows separated by barriers. Each
+// window gives shard j a horizon h(j): the shard executes every pending
+// event with timestamp <= h(j) and then waits. The horizons are chosen so
+// no event executed inside the window can be affected by a cross-shard
+// delivery that has not been injected yet — the classic Chandy-Misra-Bryant
+// conservative discipline, with the barrier playing the role of null
+// messages.
 //
-// Determinism: the window schedule depends only on the global set of
-// pending events, which is identical regardless of how the model is
-// partitioned, so the same simulation sharded 1, 2, or N ways executes
-// byte-identically (the fabric equivalence tests pin this down).
+// Safe horizon. Let next(i) be shard i's earliest pending event and
+// dist(i, j) the minimum virtual-time latency from an event executing on
+// shard i to the earliest resulting arrival on shard j, minimized over all
+// influence paths with at least one cross- or intra-shard channel hop
+// (dist(j, j) is the shortest nontrivial cycle through j). Any arrival
+// into j caused by an event chain starting from shard i's current state
+// happens at or after next(i) + dist(i, j), so
+//
+//	h(j) = min over i with pending events of next(i) + dist(i, j) - 1
+//
+// is safe: everything j executes through h(j) precedes the earliest
+// possible not-yet-injected arrival. The matrix is supplied by the fabric
+// layer (SetDistanceMatrix) from the cable map; without one the group
+// falls back to a uniform dist(i, j) = lookahead, which reproduces the
+// fixed-window schedule of the static design (window = global min event
+// time T through T+lookahead-1).
+//
+// Determinism: shards execute external deliveries in a total order carried
+// by the events themselves (arrival time, then cable rank, then per-cable
+// sequence — see Kernel.AtExt), so the set and order of events each kernel
+// executes is a pure function of the traffic, independent of how windows
+// happen to be cut. The same simulation sharded 1, 2, or N ways executes
+// byte-identically (the fabric equivalence tests pin this down); only the
+// window count varies with the partition.
 package sim
 
-// ShardGroup drives a set of kernels through conservative-lookahead
-// windows separated by exchange barriers.
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// senseBarrier is a reusable sense-reversing barrier for n participants.
+// Arrivals spin briefly (yielding the processor) and then park on a
+// condition variable, so it is cheap both on multicore (spin resolves) and
+// on a single CPU (Gosched hands the processor to the shard that has not
+// arrived yet).
+type senseBarrier struct {
+	n     int32
+	count atomic.Int32
+	sense atomic.Uint32
+
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func newSenseBarrier(n int) *senseBarrier {
+	b := &senseBarrier{n: int32(n)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n participants have called wait. Each participant
+// passes a pointer to its private sense flag; the barrier is immediately
+// reusable for the next phase.
+func (b *senseBarrier) wait(local *uint32) {
+	s := *local ^ 1
+	*local = s
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		// Publish the sense flip under the mutex so a participant that
+		// observed the stale sense and is about to park cannot miss the
+		// broadcast.
+		b.mu.Lock()
+		b.sense.Store(s)
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for i := 0; i < 128; i++ {
+		if b.sense.Load() == s {
+			return
+		}
+		runtime.Gosched()
+	}
+	b.mu.Lock()
+	for b.sense.Load() != s {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// ShardGroup drives a set of kernels through conservative windows
+// separated by exchange barriers.
 //
 // The zero value is not usable; construct with NewShardGroup.
 type ShardGroup struct {
 	kernels   []*Kernel
 	lookahead Duration
+
+	// dist[i][j] is the minimum latency from an event on shard i to an
+	// arrival on shard j over paths with >= 1 channel hop; 0 means shard i
+	// cannot influence shard j at all. nil selects the static fallback
+	// (uniform lookahead between every pair, including self).
+	dist [][]Duration
 
 	// exchange drains every shard's outbox into its peers' kernels at a
 	// barrier. It runs with all shards quiescent and must inject events
@@ -34,16 +113,27 @@ type ShardGroup struct {
 	windows   uint64
 	exchanged uint64
 
-	// Worker machinery for len(kernels) > 1. Worker i owns kernels[i+1]
-	// exclusively between the channel handoffs; kernel 0 runs on the
-	// coordinating goroutine so a 1-shard group has zero concurrency.
-	cmd  []chan Time
-	done chan struct{}
+	// Per-shard window state. horizons is written by the coordinator
+	// before the start barrier; nexts/has are written by each shard's
+	// owner after draining, before the end barrier. The barriers order
+	// every write against every read.
+	horizons []Time
+	nexts    []Time
+	has      []bool
+
+	// Worker machinery for len(kernels) > 1. Worker i owns kernels[i]
+	// exclusively between barriers; kernel 0 runs on the coordinating
+	// goroutine so a 1-shard group has zero concurrency.
+	bar    *senseBarrier
+	sense0 uint32
+	quit   bool
+	closed bool
 }
 
 // NewShardGroup returns a coordinator over the given kernels. The lookahead
 // must be positive: it is the guaranteed minimum virtual-time latency of any
-// cross-shard interaction.
+// cross-shard interaction, and the uniform fallback when no distance matrix
+// is installed.
 func NewShardGroup(kernels []*Kernel, lookahead Duration) *ShardGroup {
 	if len(kernels) == 0 {
 		panic("sim: ShardGroup needs at least one kernel")
@@ -51,13 +141,18 @@ func NewShardGroup(kernels []*Kernel, lookahead Duration) *ShardGroup {
 	if lookahead <= 0 {
 		panic("sim: ShardGroup lookahead must be positive")
 	}
-	g := &ShardGroup{kernels: kernels, lookahead: lookahead}
-	if n := len(kernels) - 1; n > 0 {
-		g.cmd = make([]chan Time, n)
-		g.done = make(chan struct{}, n)
-		for i := range g.cmd {
-			g.cmd[i] = make(chan Time, 1)
-			go g.worker(i + 1)
+	n := len(kernels)
+	g := &ShardGroup{
+		kernels:   kernels,
+		lookahead: lookahead,
+		horizons:  make([]Time, n),
+		nexts:     make([]Time, n),
+		has:       make([]bool, n),
+	}
+	if n > 1 {
+		g.bar = newSenseBarrier(n)
+		for i := 1; i < n; i++ {
+			go g.worker(i)
 		}
 	}
 	return g
@@ -67,10 +162,36 @@ func NewShardGroup(kernels []*Kernel, lookahead Duration) *ShardGroup {
 // when any cross-shard channels exist.
 func (g *ShardGroup) SetExchange(fn func() int) { g.exchange = fn }
 
+// SetDistanceMatrix installs the shard-pair minimum-latency matrix that
+// unlocks adaptive horizons. dist[i][j] must be the minimum virtual-time
+// latency from an event executing on shard i to the earliest resulting
+// arrival on shard j over influence paths with at least one channel hop
+// (dist[j][j] is the shortest nontrivial cycle through j); a zero entry
+// means shard i can never influence shard j. Every entry must be either
+// zero or >= the group's lookahead.
+func (g *ShardGroup) SetDistanceMatrix(dist [][]Duration) {
+	if len(dist) != len(g.kernels) {
+		panic("sim: distance matrix shard count mismatch")
+	}
+	for _, row := range dist {
+		if len(row) != len(g.kernels) {
+			panic("sim: distance matrix is not square")
+		}
+		for _, d := range row {
+			if d != 0 && d < g.lookahead {
+				panic("sim: distance matrix entry below group lookahead")
+			}
+		}
+	}
+	g.dist = dist
+}
+
 // Kernels returns the coordinated kernels, shard-indexed.
 func (g *ShardGroup) Kernels() []*Kernel { return g.kernels }
 
-// Windows reports how many lookahead windows have been executed.
+// Windows reports how many windows have been executed. Unlike event
+// execution order, the window count depends on the partition and the
+// distance matrix — more shards or tighter latencies mean more barriers.
 func (g *ShardGroup) Windows() uint64 { return g.windows }
 
 // Exchanged reports how many cross-shard deliveries have crossed barriers.
@@ -94,8 +215,9 @@ func (g *ShardGroup) Pending() int {
 	return n
 }
 
-// Now returns the maximum shard clock; after Run it is the barrier time all
-// shards share.
+// Now returns the maximum shard clock; after Run it is the shared time all
+// shards were aligned to (the global last-event time when drained, limit
+// otherwise).
 func (g *ShardGroup) Now() Time {
 	var t Time
 	for _, k := range g.kernels {
@@ -106,53 +228,117 @@ func (g *ShardGroup) Now() Time {
 	return t
 }
 
-// worker owns kernels[idx], running it to each commanded horizon. The
-// channel receive/send pair gives the coordinator exclusive access to the
-// kernel between windows (happens-before in both directions).
+// worker owns kernels[idx], draining it to the commanded horizon each
+// window. Between the two barrier waits the worker has exclusive access to
+// its kernel and its nexts/has slots.
 func (g *ShardGroup) worker(idx int) {
 	k := g.kernels[idx]
-	for h := range g.cmd[idx-1] {
-		k.RunUntil(h)
-		g.done <- struct{}{}
+	var sense uint32
+	for {
+		g.bar.wait(&sense) // start: horizons are published
+		if g.quit {
+			return
+		}
+		k.Drain(g.horizons[idx])
+		g.nexts[idx], g.has[idx] = k.PeekNext()
+		g.bar.wait(&sense) // end: nexts are published
 	}
 }
 
-// peekMin returns the global minimum next-event time across shards.
-func (g *ShardGroup) peekMin() (Time, bool) {
+// peekAll refreshes the cached next-event times from every kernel. Needed
+// at Run entry and after an exchange injects events; between windows the
+// cache is maintained incrementally at barrier exit.
+func (g *ShardGroup) peekAll() {
+	for i, k := range g.kernels {
+		g.nexts[i], g.has[i] = k.PeekNext()
+	}
+}
+
+// minNext returns the global minimum next-event time from the cache.
+func (g *ShardGroup) minNext() (Time, bool) {
 	var minT Time
 	found := false
-	for _, k := range g.kernels {
-		if t, ok := k.PeekNext(); ok && (!found || t < minT) {
-			minT, found = t, true
+	for i := range g.kernels {
+		if g.has[i] && (!found || g.nexts[i] < minT) {
+			minT, found = g.nexts[i], true
 		}
 	}
 	return minT, found
 }
 
-// runWindow advances every shard to horizon h (executing events with
-// timestamps <= h), in parallel when the group has more than one shard.
-func (g *ShardGroup) runWindow(h Time) {
-	for _, c := range g.cmd {
-		c <- h
+// computeHorizons fills g.horizons for the next window, capped at limit.
+// With a distance matrix, shard j may run through
+// min over pending i of next(i) + dist(i, j) - 1; a shard no pending
+// event chain can reach sprints straight to limit. Without a matrix every
+// shard gets the static window T+lookahead-1 anchored at the global
+// minimum T.
+func (g *ShardGroup) computeHorizons(limit Time) {
+	if g.dist == nil {
+		t, _ := g.minNext()
+		h := t + g.lookahead - 1
+		if h > limit {
+			h = limit
+		}
+		for j := range g.horizons {
+			g.horizons[j] = h
+		}
+		return
 	}
-	g.kernels[0].RunUntil(h)
-	for range g.cmd {
-		<-g.done
+	for j := range g.horizons {
+		h := limit
+		for i := range g.kernels {
+			if !g.has[i] {
+				continue
+			}
+			d := g.dist[i][j]
+			if d == 0 {
+				continue
+			}
+			if hij := g.nexts[i] + d - 1; hij < h {
+				h = hij
+			}
+		}
+		g.horizons[j] = h
 	}
+}
+
+// runWindow drains every shard to its horizon, in parallel when the group
+// has more than one shard, and refreshes the next-event cache at barrier
+// exit.
+func (g *ShardGroup) runWindow() {
+	if g.bar == nil {
+		k := g.kernels[0]
+		k.Drain(g.horizons[0])
+		g.nexts[0], g.has[0] = k.PeekNext()
+		g.windows++
+		return
+	}
+	g.bar.wait(&g.sense0) // start: release workers
+	k := g.kernels[0]
+	k.Drain(g.horizons[0])
+	g.nexts[0], g.has[0] = k.PeekNext()
+	g.bar.wait(&g.sense0) // end: collect workers
 	g.windows++
 }
 
 // Run executes windows until every shard drains or the global next-event
 // time passes limit. It reports whether the group drained (quiesced); when
 // false, pending events remain beyond limit. All shard clocks end at the
-// same time: the last window's horizon, or limit when the group ran out of
-// events before it.
+// same time: the global last-event time when drained, limit otherwise —
+// either way a pure function of the traffic, independent of the partition.
 func (g *ShardGroup) Run(limit Time) bool {
+	if g.closed {
+		panic("sim: ShardGroup used after Close")
+	}
+	g.peekAll()
 	for {
 		if g.exchange != nil {
-			g.exchanged += uint64(g.exchange())
+			if n := g.exchange(); n > 0 {
+				g.exchanged += uint64(n)
+				g.peekAll()
+			}
 		}
-		t, ok := g.peekMin()
+		t, ok := g.minNext()
 		if !ok {
 			// Drained. Align the clocks so observers see one time.
 			g.alignClocks(g.Now())
@@ -162,11 +348,8 @@ func (g *ShardGroup) Run(limit Time) bool {
 			g.alignClocks(limit)
 			return false
 		}
-		h := t + g.lookahead - 1
-		if h > limit {
-			h = limit
-		}
-		g.runWindow(h)
+		g.computeHorizons(limit)
+		g.runWindow()
 	}
 }
 
@@ -180,9 +363,14 @@ func (g *ShardGroup) alignClocks(t Time) {
 	}
 }
 
-// Close shuts down the worker goroutines. The group must not be used after.
+// Close shuts down the worker goroutines. The group panics if used after.
 func (g *ShardGroup) Close() {
-	for _, c := range g.cmd {
-		close(c)
+	if g.closed {
+		return
+	}
+	g.closed = true
+	if g.bar != nil {
+		g.quit = true
+		g.bar.wait(&g.sense0)
 	}
 }

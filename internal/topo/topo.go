@@ -10,15 +10,24 @@
 // resolver).
 //
 // Sharding: the switch graph and the hosts are partitioned into N shards,
-// each owning a private sim.Kernel. Every cable — including cables whose
-// endpoints share a shard — is *channelized*: the sending link's deliveries
-// are buffered in the sender shard's outbox and injected into the receiving
-// shard's kernel at conservative-lookahead barriers (see sim.ShardGroup and
-// phy.ExchangeAll). Channelizing uniformly, and injecting in a global
-// (arrival, link rank, sequence) order, makes the execution a pure function
-// of the traffic rather than the partition: the same fabric run with 1, 2,
-// or N shards is byte-identical, which the campaign equivalence gate pins
-// down.
+// each owning a private sim.Kernel. Every cable is *channelized*: its
+// deliveries become externally-ordered events stamped with the link's rank
+// and per-link sequence, so every kernel fires same-time deliveries in an
+// order that is a pure function of the traffic rather than the partition
+// (see sim.Kernel.AtExt). Cross-shard cables buffer deliveries in the
+// sender shard's outbox and inject them at barriers (phy.ExchangeSet);
+// same-shard cables schedule the identical event immediately
+// (phy.DirectEnd). The same fabric run with 1, 2, or N shards is therefore
+// byte-identical, which the campaign equivalence gate pins down.
+//
+// Adaptive lookahead: Build derives a shard-pair minimum-latency matrix
+// from the cable map — the weight of a cross-shard edge is one character's
+// serialization plus that cable's propagation delay, and dist(i, j) is the
+// all-pairs shortest influence path over those edges (purely intra-shard
+// chains need no barrier: DirectEnd schedules them synchronously). The
+// ShardGroup uses the matrix to compute per-shard safe horizons from the
+// actual pending-event times, so shards sprint past quiet periods instead
+// of lock-stepping at the global minimum channel latency.
 package topo
 
 import (
@@ -104,8 +113,11 @@ type Fabric struct {
 	shardOfHost   []int
 	lookahead     sim.Duration
 
-	outboxes []*phy.Outbox
-	scratch  []phy.Delivery
+	exch *phy.ExchangeSet
+	// crossMin[{i, j}] is the minimum direct latency of any cross-shard
+	// cable direction from shard i to shard j; the distance matrix's edge
+	// weights.
+	crossMin map[[2]int]sim.Duration
 }
 
 // hostMACPrefix distinguishes fabric host addresses; the low two bytes are
@@ -187,11 +199,11 @@ func Build(cfg Config) (*Fabric, error) {
 	// disabled, jitter off); seeding them distinctly is belt and braces
 	// for misuse, not a determinism requirement.
 	f.Kernels = make([]*sim.Kernel, cfg.Shards)
-	f.outboxes = make([]*phy.Outbox, cfg.Shards)
 	for i := range f.Kernels {
 		f.Kernels[i] = sim.NewKernel(int64(mix(uint64(cfg.Seed), uint64(i))))
-		f.outboxes[i] = &phy.Outbox{}
 	}
+	f.exch = phy.NewExchangeSet(cfg.Shards)
+	f.crossMin = make(map[[2]int]sim.Duration)
 
 	// Switches.
 	f.Switches = make([]*myrinet.Switch, cfg.Switches)
@@ -263,8 +275,104 @@ func Build(cfg Config) (*Fabric, error) {
 	f.lookahead = myrinet.CharPeriod + minProp
 
 	f.Group = sim.NewShardGroup(f.Kernels, f.lookahead)
-	f.Group.SetExchange(func() int { return phy.ExchangeAll(f.outboxes, &f.scratch) })
+	f.Group.SetDistanceMatrix(f.distanceMatrix())
+	f.Group.SetExchange(f.exch.Exchange)
 	return f, nil
+}
+
+// distanceMatrix computes dist[i][j]: the minimum virtual-time latency from
+// an event executing on shard i to the earliest resulting arrival on shard
+// j over influence paths with at least one cross-shard hop (zero when no
+// such path exists). Purely intra-shard delivery chains are excluded on
+// purpose — DirectEnd schedules them synchronously during the window, so
+// they never need barrier protection; only chains whose last hop crosses a
+// shard boundary wait in an outbox. Seeding each Dijkstra frontier with the
+// source's outgoing edges (instead of dist[src] = 0) makes dist[j][j] the
+// shortest nontrivial cross-shard cycle through j for free.
+func (f *Fabric) distanceMatrix() [][]sim.Duration {
+	n := f.Config.Shards
+	type edge struct {
+		to int
+		w  sim.Duration
+	}
+	adj := make([][]edge, n)
+	for pair, w := range f.crossMin {
+		adj[pair[0]] = append(adj[pair[0]], edge{pair[1], w})
+	}
+
+	const inf = sim.Duration(1<<63 - 1)
+	type item struct {
+		d sim.Duration
+		v int
+	}
+	var pq []item
+	push := func(it item) {
+		pq = append(pq, it)
+		for i := len(pq) - 1; i > 0; {
+			p := (i - 1) / 2
+			if pq[p].d <= pq[i].d {
+				break
+			}
+			pq[p], pq[i] = pq[i], pq[p]
+			i = p
+		}
+	}
+	pop := func() item {
+		top := pq[0]
+		last := len(pq) - 1
+		pq[0] = pq[last]
+		pq = pq[:last]
+		for i := 0; ; {
+			l, r, m := 2*i+1, 2*i+2, i
+			if l < len(pq) && pq[l].d < pq[m].d {
+				m = l
+			}
+			if r < len(pq) && pq[r].d < pq[m].d {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			pq[i], pq[m] = pq[m], pq[i]
+			i = m
+		}
+		return top
+	}
+
+	dist := make([][]sim.Duration, n)
+	d := make([]sim.Duration, n)
+	for src := 0; src < n; src++ {
+		for i := range d {
+			d[i] = inf
+		}
+		pq = pq[:0]
+		for _, e := range adj[src] {
+			if e.w < d[e.to] {
+				d[e.to] = e.w
+				push(item{e.w, e.to})
+			}
+		}
+		for len(pq) > 0 {
+			it := pop()
+			if it.d > d[it.v] {
+				continue
+			}
+			for _, e := range adj[it.v] {
+				if nd := it.d + e.w; nd < d[e.to] {
+					d[e.to] = nd
+					push(item{nd, e.to})
+				}
+			}
+		}
+		row := make([]sim.Duration, n)
+		for j := range row {
+			if d[j] < inf {
+				row[j] = d[j]
+			}
+		}
+		dist[src] = row
+	}
+	return dist
 }
 
 // partition assigns switches and hosts to shards. Units are switches AND
@@ -301,14 +409,32 @@ func (f *Fabric) hostAttach(h int) (sw, port int) {
 }
 
 // addCable builds one channelized cable: each direction's link lives on the
-// sender's kernel and delivers through the sender shard's outbox into the
-// receiver shard's kernel.
+// sender's kernel. Cross-shard directions buffer through the sender shard's
+// outbox for barrier exchange and record the edge in the latency graph;
+// same-shard directions schedule the identical externally-ordered event
+// directly into the shared kernel.
 func (f *Fabric) addCable(cfg phy.LinkConfig, shardA, shardB int, a, b myrinet.Attachable) {
 	cable := myrinet.ConnectCross(f.Kernels[shardA], f.Kernels[shardB], cfg, a, b)
-	rank := 2 * len(f.Cables)
-	cable.LeftToRight.SetDeliverySink(phy.NewChannelEnd(f.outboxes[shardA], f.Kernels[shardB], rank))
-	cable.RightToLeft.SetDeliverySink(phy.NewChannelEnd(f.outboxes[shardB], f.Kernels[shardA], rank+1))
+	rank := uint32(2 * len(f.Cables))
+	if shardA == shardB {
+		cable.LeftToRight.SetDeliverySink(phy.NewDirectEnd(f.Kernels[shardA], rank))
+		cable.RightToLeft.SetDeliverySink(phy.NewDirectEnd(f.Kernels[shardA], rank+1))
+	} else {
+		cable.LeftToRight.SetDeliverySink(phy.NewChannelEnd(f.exch.Box(shardA), f.Kernels[shardB], rank))
+		cable.RightToLeft.SetDeliverySink(phy.NewChannelEnd(f.exch.Box(shardB), f.Kernels[shardA], rank+1))
+		lat := cfg.CharPeriod + cfg.PropDelay
+		f.noteCross(shardA, shardB, lat)
+		f.noteCross(shardB, shardA, lat)
+	}
 	f.Cables = append(f.Cables, cable)
+}
+
+// noteCross records a direct cross-shard edge for the distance matrix.
+func (f *Fabric) noteCross(from, to int, lat sim.Duration) {
+	key := [2]int{from, to}
+	if cur, ok := f.crossMin[key]; !ok || lat < cur {
+		f.crossMin[key] = lat
+	}
 }
 
 // Route returns the source route from host src to host dst, or false when
